@@ -1,0 +1,251 @@
+// Package repro's benchmark harness: one testing.B benchmark per experiment
+// of the paper's evaluation (see the experiment index in DESIGN.md and the
+// recorded results in EXPERIMENTS.md).  The same workloads power
+// cmd/experiments, which prints the full markdown tables.
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/sac"
+	saclang "repro/sac/lang"
+	"repro/snet"
+	"repro/sudoku"
+)
+
+var pool1 = sac.NewPool(1)
+
+func fixed(b *testing.B, name string) *sudoku.Board {
+	b.Helper()
+	p, ok := sudoku.Fixed9x9()[name]
+	if !ok {
+		b.Fatalf("unknown puzzle %s", name)
+	}
+	return p
+}
+
+func solveNet(b *testing.B, net snet.Node, puzzle *sudoku.Board) *snet.Stats {
+	b.Helper()
+	board, stats, err := sudoku.SolveWithNet(context.Background(), net, puzzle)
+	if err != nil || board == nil || !board.IsSolved() {
+		b.Fatalf("network solve failed: %v", err)
+	}
+	return stats
+}
+
+// BenchmarkE1Fig1Pipeline — Fig. 1: computeOpts .. (solveOneLevel ** {<done>}).
+func BenchmarkE1Fig1Pipeline(b *testing.B) {
+	for _, name := range []string{"easy", "medium", "hard"} {
+		puzzle := fixed(b, name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				stats := solveNet(b, sudoku.Fig1Net(sudoku.NetConfig{Pool: pool1}), puzzle)
+				if stats.Counter("star.solve_loop.replicas") > 81 {
+					b.Fatal("Fig. 1 bound (81 stages) violated")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2Fig2FullUnfold — Fig. 2: (solveOneLevel !! <k>) ** {<done>}.
+func BenchmarkE2Fig2FullUnfold(b *testing.B) {
+	for _, name := range []string{"easy", "medium", "hard"} {
+		puzzle := fixed(b, name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				stats := solveNet(b, sudoku.Fig2Net(sudoku.NetConfig{Pool: pool1}), puzzle)
+				if stats.Max("split.level_split.width") > 9 ||
+					stats.Counter("box.solveOneLevel.instances") > 729 {
+					b.Fatal("Fig. 2 bounds (9-wide, 729 boxes) violated")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE3Fig3Throttled — Fig. 3: throttle sweep over the %m filter.
+func BenchmarkE3Fig3Throttled(b *testing.B) {
+	puzzle := fixed(b, "hard")
+	for _, m := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("throttle%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := sudoku.NetConfig{Pool: pool1, Throttle: m, ExitLevel: 40}
+				stats := solveNet(b, sudoku.Fig3Net(cfg), puzzle)
+				if stats.Max("split.level_split.width") > int64(m) {
+					b.Fatalf("throttle %d violated", m)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4Sequential9x9 — the §3 sequential solver ("far less than a
+// second" for typical 9×9 puzzles).
+func BenchmarkE4Sequential9x9(b *testing.B) {
+	for _, name := range []string{"easy", "medium", "hard"} {
+		puzzle := fixed(b, name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, ok := sudoku.SolveBoard(pool1, puzzle); !ok {
+					b.Fatal("solve failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5WithLoopScaling — implicit data parallelism: the same stencil
+// with-loop on 1-wide and 2-wide pools.
+func BenchmarkE5WithLoopScaling(b *testing.B) {
+	const side = 600
+	src := sac.Genarray(pool1, []int{side, side}, 0.0,
+		sac.GenHalfOpen([]int{0, 0}, []int{side, side}, func(iv []int) float64 {
+			return float64((iv[0]*31+iv[1]*17)%1000) / 1000.0
+		}))
+	for _, workers := range []int{1, 2, 4} {
+		p := sac.NewPoolWithGrain(workers, 512)
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := sac.Genarray(p, []int{side, side}, 0.0,
+					sac.GenHalfOpen([]int{1, 1}, []int{side - 1, side - 1},
+						func(iv []int) float64 {
+							x, j := iv[0], iv[1]
+							return 0.2 * (src.At(x, j) + src.At(x-1, j) +
+								src.At(x+1, j) + src.At(x, j-1) + src.At(x, j+1))
+						}))
+				if res.Size() != side*side {
+					b.Fatal("bad result")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6BigBoards — 16×16 boards, sequential vs the Fig. 3 network
+// (medium instance; the seconds-long hard instances live in
+// cmd/experiments).
+func BenchmarkE6BigBoards(b *testing.B) {
+	puzzle, _ := sudoku.Generate(pool1, 4, 7, 150, false)
+	b.Run("seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := sudoku.SolveBoard(pool1, puzzle); !ok {
+				b.Fatal("seq failed")
+			}
+		}
+	})
+	b.Run("fig3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := sudoku.NetConfig{Pool: pool1, Throttle: 4, ExitLevel: 200}
+			solveNet(b, sudoku.Fig3Net(cfg), puzzle)
+		}
+	})
+}
+
+// BenchmarkE7SacVM — the Core SaC interpreter on the paper's §2 examples
+// (correctness is asserted by unit tests; this tracks interpreter speed).
+func BenchmarkE7SacVM(b *testing.B) {
+	prog := saclang.MustParse(saclang.Prelude + `
+		int[*] main() {
+			A = with { ([1] <= iv < [4]) : 1;
+			           ([3] <= iv < [5]) : 2;
+			} : genarray( [6], 0);
+			res = with { ([0] <= iv < [3]) : 3; } : modarray( A);
+			return( res ++ [7,8]);
+		}`)
+	itp := saclang.New(prog, pool1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := itp.Call("main", nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8DetVsNondet — the sort-record protocol ablation: identical
+// record flood through nondeterministic vs deterministic split.
+func BenchmarkE8DetVsNondet(b *testing.B) {
+	const n = 500
+	mkInputs := func() []*snet.Record {
+		inputs := make([]*snet.Record, n)
+		for i := range inputs {
+			inputs[i] = snet.NewRecord().SetTag("n", i).SetTag("k", i%4)
+		}
+		return inputs
+	}
+	idFn := func(args []any, out *snet.Emitter) error { return out.Out(1, args[0].(int)) }
+	for _, det := range []bool{false, true} {
+		name := "nondet"
+		if det {
+			name = "det"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				box := snet.NewBox("w", snet.MustParseSignature("(<n>) -> (<n>)"), idFn)
+				var net snet.Node
+				if det {
+					net = snet.SplitDet(box, "k")
+				} else {
+					net = snet.Split(box, "k")
+				}
+				out, _, err := snet.RunAll(context.Background(), net, mkInputs())
+				if err != nil || len(out) != n {
+					b.Fatalf("out=%d err=%v", len(out), err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE9RuntimeMicro — coordination-layer throughput: box pipeline and
+// filter hops per record.
+func BenchmarkE9RuntimeMicro(b *testing.B) {
+	idFn := func(args []any, out *snet.Emitter) error { return out.Out(1, args[0].(int)) }
+	box := func() snet.Node {
+		return snet.NewBox("id", snet.MustParseSignature("(<n>) -> (<n>)"), idFn)
+	}
+	nets := map[string]func() snet.Node{
+		"box":      func() snet.Node { return box() },
+		"pipeline": func() snet.Node { return snet.Serial(box(), box(), box(), box()) },
+		"filter":   func() snet.Node { return snet.MustFilter("{<n>} -> {<n>=<n>*2+1}") },
+	}
+	for name, mk := range nets {
+		b.Run(name, func(b *testing.B) {
+			const n = 500
+			inputs := make([]*snet.Record, n)
+			for i := range inputs {
+				inputs[i] = snet.NewRecord().SetTag("n", i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, _, err := snet.RunAll(context.Background(), mk(), inputs)
+				if err != nil || len(out) != n {
+					b.Fatal("micro failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE10InterpretedBoxes — Fig. 1 with the paper's interpreted SaC
+// boxes (the hybrid two-layer configuration) vs native boxes.
+func BenchmarkE10InterpretedBoxes(b *testing.B) {
+	puzzle := fixed(b, "easy")
+	b.Run("native", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			solveNet(b, sudoku.Fig1Net(sudoku.NetConfig{Pool: pool1}), puzzle)
+		}
+	})
+	b.Run("interpreted", func(b *testing.B) {
+		boxes := sudoku.NewSacBoxes(pool1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			board, _, err := boxes.SolveHybrid(context.Background(), puzzle)
+			if err != nil || board == nil {
+				b.Fatalf("hybrid failed: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,64 @@
+// Command experiments regenerates every experiment table of EXPERIMENTS.md:
+// one table per figure and quantitative claim of the paper (see the
+// experiment index in DESIGN.md).
+//
+// Usage:
+//
+//	experiments [-reps n] [-workers w] [-only E3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		reps    = flag.Int("reps", 5, "measurement repetitions per cell")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "max with-loop workers for the scaling experiment")
+		only    = flag.String("only", "", "run a single experiment (e.g. E3)")
+	)
+	flag.Parse()
+	bench.Reps = *reps
+
+	fmt.Printf("# Experiment run — %s, GOMAXPROCS=%d, reps=%d\n\n",
+		time.Now().Format("2006-01-02 15:04:05"), runtime.GOMAXPROCS(0), *reps)
+
+	var tables []*bench.Table
+	if *only == "" {
+		tables = bench.All(*workers)
+	} else {
+		switch strings.ToUpper(*only) {
+		case "E1":
+			tables = []*bench.Table{bench.E1Fig1()}
+		case "E2":
+			tables = []*bench.Table{bench.E2Fig2()}
+		case "E3":
+			tables = []*bench.Table{bench.E3Fig3()}
+		case "E4":
+			tables = []*bench.Table{bench.E4Sequential()}
+		case "E5":
+			tables = []*bench.Table{bench.E5WithLoop(*workers)}
+		case "E6":
+			tables = []*bench.Table{bench.E6BigBoards()}
+		case "E8":
+			tables = []*bench.Table{bench.E8DetVsNondet()}
+		case "E9":
+			tables = []*bench.Table{bench.E9RuntimeMicro()}
+		case "E10":
+			tables = []*bench.Table{bench.E10Hybrid()}
+		default:
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (E7 is covered by unit tests)\n", *only)
+			os.Exit(2)
+		}
+	}
+	for _, t := range tables {
+		fmt.Print(t.Markdown())
+	}
+}

@@ -1,0 +1,121 @@
+// Command sacrun interprets a Core SaC source file (§2 of the paper) and
+// calls one of its functions with integer arguments.
+//
+// Usage:
+//
+//	sacrun [-workers w] [-fun name] file.sac [intArg...]
+//	sacrun -demo            # run the paper's §2 examples
+//
+// The prelude (the paper's ++ operator) is always available.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/sac"
+	saclang "repro/sac/lang"
+)
+
+const demo = `
+int[*] ex1() {
+    res = with { ([0,0] <= iv < [3,5]) : 42; } : genarray( [3,5], 0);
+    return( res);
+}
+int[*] ex2() {
+    res = with { ([0] <= iv < [5]) : iv[0]; } : genarray( [5], 0);
+    return( res);
+}
+int[*] ex3() {
+    res = with { ([1] <= iv < [4]) : 42; } : genarray( [5], 0);
+    return( res);
+}
+int[*] ex4() {
+    res = with { ([1] <= iv < [4]) : 1;
+                 ([3] <= iv < [5]) : 2;
+    } : genarray( [6], 0);
+    return( res);
+}
+int[*] ex5() {
+    A = with { ([1] <= iv < [4]) : 1;
+               ([3] <= iv < [5]) : 2;
+    } : genarray( [6], 0);
+    res = with { ([0] <= iv < [3]) : 3; } : modarray( A);
+    return( res);
+}
+int[*] ex6() {
+    return( [1,2,3] ++ [4,5]);
+}
+`
+
+func main() {
+	var (
+		workers = flag.Int("workers", 1, "with-loop workers ('SaC threads')")
+		fun     = flag.String("fun", "main", "function to call")
+		runDemo = flag.Bool("demo", false, "run the paper's §2 examples")
+	)
+	flag.Parse()
+
+	pool := sac.NewPool(*workers)
+	if *runDemo {
+		prog, err := saclang.Parse(saclang.Prelude + demo)
+		if err != nil {
+			fatal(err)
+		}
+		itp := saclang.New(prog, pool)
+		itp.SetOutput(os.Stdout)
+		for _, name := range []string{"ex1", "ex2", "ex3", "ex4", "ex5", "ex6"} {
+			out, err := itp.Call(name, nil, nil)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s = %s\n", name, out[0])
+		}
+		return
+	}
+
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: sacrun [-workers w] [-fun name] file.sac [intArg...]")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := saclang.Parse(saclang.Prelude + string(src))
+	if err != nil {
+		fatal(err)
+	}
+	itp := saclang.New(prog, pool)
+	itp.SetOutput(os.Stdout)
+
+	var args []saclang.Value
+	for _, a := range flag.Args()[1:] {
+		n, err := strconv.Atoi(a)
+		if err != nil {
+			fatal(fmt.Errorf("argument %q is not an integer", a))
+		}
+		args = append(args, saclang.IntScalar(n))
+	}
+	out, err := itp.Call(*fun, args, func(variant int, vals []saclang.Value) error {
+		fmt.Printf("snet_out(%d", variant)
+		for _, v := range vals {
+			fmt.Printf(", %s", v)
+		}
+		fmt.Println(")")
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for i, v := range out {
+		fmt.Printf("result[%d] = %s\n", i, v)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sacrun:", err)
+	os.Exit(1)
+}

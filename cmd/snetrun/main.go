@@ -1,0 +1,170 @@
+// Command snetrun parses a textual S-Net program (the paper's notation),
+// type-checks it, and optionally runs it against a registry of built-in
+// demonstration boxes, feeding records given on the command line.
+//
+// Usage:
+//
+//	snetrun [-net name] [-run] [-record '{<n>=5}']... file.snet
+//	snetrun -list           # show the built-in demo boxes
+//
+// Record literals accept tags (<t>=int) and string fields (name=text).
+//
+// Built-in demo boxes (bind any of these names in your program):
+//
+//	inc   (<n>) -> (<n>)                 n+1
+//	dec   (<n>) -> (<n>) | (<n>,<done>)  n-1, <done> at 0
+//	double(<n>) -> (<n>)                 n*2
+//	split2(<n>) -> (<n>)                 emits n twice
+//	echo  () -> ()                       forwards unchanged
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/snet"
+	"repro/snet/lang"
+)
+
+func demoRegistry() *lang.Registry {
+	return lang.NewRegistry().
+		RegisterFunc("inc", func(args []any, out *snet.Emitter) error {
+			return out.Out(1, args[0].(int)+1)
+		}).
+		RegisterFunc("dec", func(args []any, out *snet.Emitter) error {
+			n := args[0].(int)
+			if n <= 0 {
+				return out.Out(2, 0, 1)
+			}
+			return out.Out(1, n-1)
+		}).
+		RegisterFunc("double", func(args []any, out *snet.Emitter) error {
+			return out.Out(1, args[0].(int)*2)
+		}).
+		RegisterFunc("split2", func(args []any, out *snet.Emitter) error {
+			if err := out.Out(1, args[0].(int)); err != nil {
+				return err
+			}
+			return out.Out(1, args[0].(int))
+		}).
+		RegisterFunc("echo", func(args []any, out *snet.Emitter) error {
+			return out.Out(1)
+		})
+}
+
+type recordFlags []string
+
+func (r *recordFlags) String() string     { return strings.Join(*r, " ") }
+func (r *recordFlags) Set(s string) error { *r = append(*r, s); return nil }
+
+func main() {
+	var (
+		netName = flag.String("net", "", "net to build (default: last net in the file)")
+		run     = flag.Bool("run", false, "run the network on the given -record inputs")
+		list    = flag.Bool("list", false, "list built-in demo boxes")
+		records recordFlags
+	)
+	flag.Var(&records, "record", "input record literal, e.g. '{<n>=5, name=abc}' (repeatable)")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("inc dec double split2 echo")
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: snetrun [-net name] [-run] [-record {...}]... file.snet")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := lang.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("parsed:")
+	fmt.Print(prog)
+
+	name := *netName
+	if name == "" {
+		if len(prog.Nets) == 0 {
+			fatal(fmt.Errorf("no net definitions in %s", flag.Arg(0)))
+		}
+		name = prog.Nets[len(prog.Nets)-1].Name
+	}
+	net, err := lang.Build(prog, name, demoRegistry())
+	if err != nil {
+		fatal(err)
+	}
+	in, out, diags := snet.Check(net)
+	fmt.Printf("\nnet %s : %v -> %v\n", name, in, out)
+	for _, d := range diags {
+		fmt.Println("  ", d)
+	}
+	if !*run {
+		return
+	}
+
+	inputs := make([]*snet.Record, 0, len(records))
+	for _, lit := range records {
+		r, err := parseRecord(lit)
+		if err != nil {
+			fatal(err)
+		}
+		inputs = append(inputs, r)
+	}
+	results, stats, err := snet.RunAll(context.Background(), net, inputs,
+		snet.WithErrorHandler(func(e error) { fmt.Fprintln(os.Stderr, "runtime:", e) }))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n%d output records:\n", len(results))
+	for _, r := range results {
+		fmt.Println("  ", r)
+	}
+	fmt.Println("\nstatistics:")
+	snap := stats.Snapshot()
+	for _, k := range stats.Keys() {
+		fmt.Printf("  %-40s %d\n", k, snap[k])
+	}
+}
+
+// parseRecord reads a record literal: {<tag>=int, field=string, ...}.
+func parseRecord(lit string) (*snet.Record, error) {
+	s := strings.TrimSpace(lit)
+	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, "}") {
+		return nil, fmt.Errorf("record literal must be braced: %q", lit)
+	}
+	rec := snet.NewRecord()
+	body := strings.TrimSpace(s[1 : len(s)-1])
+	if body == "" {
+		return rec, nil
+	}
+	for _, part := range strings.Split(body, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad record item %q", part)
+		}
+		key, val := strings.TrimSpace(kv[0]), strings.TrimSpace(kv[1])
+		if strings.HasPrefix(key, "<") && strings.HasSuffix(key, ">") {
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("tag %s needs an integer, got %q", key, val)
+			}
+			rec.SetTag(key[1:len(key)-1], n)
+		} else {
+			rec.SetField(key, val)
+		}
+	}
+	return rec, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "snetrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,157 @@
+package array
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMapZipArithmetic(t *testing.T) {
+	for _, p := range pools {
+		a := Vector(1, 2, 3)
+		b := Vector(10, 20, 30)
+		if !Equal(Add(p, a, b), Vector(11, 22, 33)) {
+			t.Fatal("Add broken")
+		}
+		if !Equal(Sub(p, b, a), Vector(9, 18, 27)) {
+			t.Fatal("Sub broken")
+		}
+		if !Equal(Mul(p, a, b), Vector(10, 40, 90)) {
+			t.Fatal("Mul broken")
+		}
+		if !Equal(AddScalar(p, a, 5), Vector(6, 7, 8)) {
+			t.Fatal("AddScalar broken")
+		}
+		if !Equal(MulScalar(p, a, -1), Vector(-1, -2, -3)) {
+			t.Fatal("MulScalar broken")
+		}
+		sq := Map(p, a, func(x int) int { return x * x })
+		if !Equal(sq, Vector(1, 4, 9)) {
+			t.Fatal("Map broken")
+		}
+	}
+}
+
+func TestZipShapeMismatchPanics(t *testing.T) {
+	defer wantShapePanic(t, "Zip")
+	Zip(p1, Vector(1, 2), Vector(1, 2, 3), func(a, b int) int { return a + b })
+}
+
+func TestSumCountAllAny(t *testing.T) {
+	for _, p := range pools {
+		if Sum(p, Iota(100)) != 4950 {
+			t.Fatal("Sum broken")
+		}
+		bools := Vector(true, false, true, true)
+		if CountTrue(p, bools) != 3 {
+			t.Fatal("CountTrue broken")
+		}
+		if All(p, bools) {
+			t.Fatal("All broken")
+		}
+		if !All(p, Vector(true, true)) {
+			t.Fatal("All broken on all-true")
+		}
+		if !All(p, New([]int{0}, false)) {
+			t.Fatal("All on empty must be true")
+		}
+		if !Any(p, bools) {
+			t.Fatal("Any broken")
+		}
+		if Any(p, New([]int{3}, false)) {
+			t.Fatal("Any on all-false must be false")
+		}
+	}
+}
+
+func TestEqElementwise(t *testing.T) {
+	for _, p := range pools {
+		e := Eq(p, Vector(1, 2, 3), Vector(1, 9, 3))
+		if !Equal(e, Vector(true, false, true)) {
+			t.Fatalf("Eq = %v", e)
+		}
+	}
+}
+
+func TestConcatMatrices(t *testing.T) {
+	a := FromSlice([]int{1, 2}, []int{1, 2})
+	b := FromSlice([]int{2, 2}, []int{3, 4, 5, 6})
+	c := Concat(a, b)
+	if !Equal(c, FromSlice([]int{3, 2}, []int{1, 2, 3, 4, 5, 6})) {
+		t.Fatalf("Concat = %v", c)
+	}
+}
+
+func TestConcatErrors(t *testing.T) {
+	t.Run("scalar", func(t *testing.T) {
+		defer wantShapePanic(t, "Concat")
+		Concat(Scalar(1), Vector(2))
+	})
+	t.Run("trailing", func(t *testing.T) {
+		defer wantShapePanic(t, "Concat")
+		Concat(FromSlice([]int{1, 2}, []int{1, 2}), FromSlice([]int{1, 3}, []int{1, 2, 3}))
+	})
+}
+
+func TestWhere(t *testing.T) {
+	b := FromSlice([]int{2, 2}, []bool{false, true, true, false})
+	idx := Where(b)
+	if len(idx) != 2 || idx[0][0] != 0 || idx[0][1] != 1 || idx[1][0] != 1 || idx[1][1] != 0 {
+		t.Fatalf("Where = %v", idx)
+	}
+	if len(Where(New([]int{0}, false))) != 0 {
+		t.Fatal("Where on empty must be empty")
+	}
+}
+
+// Property: Concat length and element identity.
+func TestQuickConcatProperty(t *testing.T) {
+	f := func(aRaw, bRaw []int8) bool {
+		av := make([]int, len(aRaw))
+		bv := make([]int, len(bRaw))
+		for i, v := range aRaw {
+			av[i] = int(v)
+		}
+		for i, v := range bRaw {
+			bv[i] = int(v)
+		}
+		a := FromSlice([]int{len(av)}, av)
+		b := FromSlice([]int{len(bv)}, bv)
+		c := Concat(a, b)
+		if c.Size() != a.Size()+b.Size() {
+			return false
+		}
+		for i := 0; i < a.Size(); i++ {
+			if c.At(i) != a.At(i) {
+				return false
+			}
+		}
+		for i := 0; i < b.Size(); i++ {
+			if c.At(a.Size()+i) != b.At(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Sum(Add(a,b)) == Sum(a) + Sum(b).
+func TestQuickSumLinearity(t *testing.T) {
+	f := func(raw []int8) bool {
+		n := len(raw)
+		av := make([]int, n)
+		bv := make([]int, n)
+		for i, v := range raw {
+			av[i] = int(v)
+			bv[i] = int(v) * 3
+		}
+		a := FromSlice([]int{n}, av)
+		b := FromSlice([]int{n}, bv)
+		return Sum(p2, Add(p2, a, b)) == Sum(p2, a)+Sum(p2, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

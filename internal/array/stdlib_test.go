@@ -1,0 +1,186 @@
+package array
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTakeDrop(t *testing.T) {
+	v := Vector(1, 2, 3, 4, 5)
+	if !Equal(Take(v, 2), Vector(1, 2)) {
+		t.Fatal("Take front")
+	}
+	if !Equal(Take(v, -2), Vector(4, 5)) {
+		t.Fatal("Take back")
+	}
+	if !Equal(Drop(v, 2), Vector(3, 4, 5)) {
+		t.Fatal("Drop front")
+	}
+	if !Equal(Drop(v, -2), Vector(1, 2, 3)) {
+		t.Fatal("Drop back")
+	}
+	if Take(v, 0).Size() != 0 || Drop(v, 5).Size() != 0 {
+		t.Fatal("empty edge cases")
+	}
+	m := FromSlice([]int{3, 2}, []int{1, 2, 3, 4, 5, 6})
+	if !Equal(Take(m, 1), FromSlice([]int{1, 2}, []int{1, 2})) {
+		t.Fatal("Take matrix row")
+	}
+	if !Equal(Drop(m, -1), FromSlice([]int{2, 2}, []int{1, 2, 3, 4})) {
+		t.Fatal("Drop matrix back")
+	}
+}
+
+func TestTakeDropErrors(t *testing.T) {
+	t.Run("take-scalar", func(t *testing.T) {
+		defer wantShapePanic(t, "Take")
+		Take(Scalar(1), 1)
+	})
+	t.Run("take-over", func(t *testing.T) {
+		defer wantShapePanic(t, "Take")
+		Take(Vector(1, 2), 3)
+	})
+	t.Run("drop-over", func(t *testing.T) {
+		defer wantShapePanic(t, "Drop")
+		Drop(Vector(1, 2), -3)
+	})
+}
+
+func TestRotate(t *testing.T) {
+	v := Vector(1, 2, 3, 4, 5)
+	if !Equal(Rotate(v, 0, 1), Vector(5, 1, 2, 3, 4)) {
+		t.Fatalf("rotate +1: %v", Rotate(v, 0, 1))
+	}
+	if !Equal(Rotate(v, 0, -1), Vector(2, 3, 4, 5, 1)) {
+		t.Fatal("rotate -1")
+	}
+	if !Equal(Rotate(v, 0, 5), v) || !Equal(Rotate(v, 0, -10), v) {
+		t.Fatal("full rotations must be identity")
+	}
+	m := FromSlice([]int{2, 3}, []int{1, 2, 3, 4, 5, 6})
+	if !Equal(Rotate(m, 1, 1), FromSlice([]int{2, 3}, []int{3, 1, 2, 6, 4, 5})) {
+		t.Fatalf("rotate axis 1: %v", Rotate(m, 1, 1))
+	}
+	defer wantShapePanic(t, "Rotate")
+	Rotate(v, 1, 1)
+}
+
+func TestReverse(t *testing.T) {
+	if !Equal(Reverse(Vector(1, 2, 3), 0), Vector(3, 2, 1)) {
+		t.Fatal("reverse vector")
+	}
+	m := FromSlice([]int{2, 3}, []int{1, 2, 3, 4, 5, 6})
+	if !Equal(Reverse(m, 0), FromSlice([]int{2, 3}, []int{4, 5, 6, 1, 2, 3})) {
+		t.Fatal("reverse rows")
+	}
+	if !Equal(Reverse(m, 1), FromSlice([]int{2, 3}, []int{3, 2, 1, 6, 5, 4})) {
+		t.Fatal("reverse cols")
+	}
+	if !Equal(Reverse(Reverse(m, 0), 0), m) {
+		t.Fatal("reverse involution")
+	}
+	defer wantShapePanic(t, "Reverse")
+	Reverse(m, 2)
+}
+
+func TestTranspose(t *testing.T) {
+	for _, p := range pools {
+		m := FromSlice([]int{2, 3}, []int{1, 2, 3, 4, 5, 6})
+		mt := Transpose(p, m)
+		if !Equal(mt, FromSlice([]int{3, 2}, []int{1, 4, 2, 5, 3, 6})) {
+			t.Fatalf("transpose: %v", mt)
+		}
+		if !Equal(Transpose(p, mt), m) {
+			t.Fatal("transpose involution")
+		}
+		// rank 3: leading axes swap, inner blocks move wholesale
+		c := FromSlice([]int{2, 2, 2}, []int{0, 1, 2, 3, 4, 5, 6, 7})
+		ct := Transpose(p, c)
+		if ct.At(1, 0, 1) != c.At(0, 1, 1) {
+			t.Fatal("rank-3 transpose broken")
+		}
+	}
+	defer wantShapePanic(t, "Transpose")
+	Transpose(p1, Vector(1, 2))
+}
+
+func TestTile(t *testing.T) {
+	if !Equal(Tile(Vector(1, 2), 3), Vector(1, 2, 1, 2, 1, 2)) {
+		t.Fatal("tile vector")
+	}
+	if Tile(Vector(1), 0).Size() != 0 {
+		t.Fatal("tile zero")
+	}
+	defer wantShapePanic(t, "Tile")
+	Tile(Vector(1), -1)
+}
+
+func TestMinMaxValue(t *testing.T) {
+	v := Vector(3, -1, 7, 2)
+	if MinValue(v) != -1 || MaxValue(v) != 7 {
+		t.Fatal("min/max broken")
+	}
+	defer wantShapePanic(t, "MinValue")
+	MinValue(New([]int{0}, 0))
+}
+
+// Property: Take(v,n) ++ Drop(v,n) == v for 0 <= n <= len.
+func TestQuickTakeDropConcat(t *testing.T) {
+	f := func(raw []int8, nRaw uint8) bool {
+		data := make([]int, len(raw))
+		for i, v := range raw {
+			data[i] = int(v)
+		}
+		v := FromSlice([]int{len(data)}, data)
+		if len(data) == 0 {
+			return true
+		}
+		n := int(nRaw) % (len(data) + 1)
+		return Equal(Concat(Take(v, n), Drop(v, n)), v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: rotating by n then -n is the identity.
+func TestQuickRotateInverse(t *testing.T) {
+	f := func(raw []int8, nRaw int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		data := make([]int, len(raw))
+		for i, v := range raw {
+			data[i] = int(v)
+		}
+		v := FromSlice([]int{len(data)}, data)
+		n := int(nRaw)
+		return Equal(Rotate(Rotate(v, 0, n), 0, -n), v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transpose swaps indices on random matrices.
+func TestQuickTransposeIndex(t *testing.T) {
+	f := func(rRaw, cRaw uint8) bool {
+		r, c := int(rRaw%6)+1, int(cRaw%6)+1
+		m := Genarray(p2, []int{r, c}, 0,
+			GenHalfOpen([]int{0, 0}, []int{r, c}, func(iv []int) int {
+				return iv[0]*100 + iv[1]
+			}))
+		mt := Transpose(p2, m)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				if mt.At(j, i) != m.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+// Package bench is the experiment harness behind cmd/experiments and
+// bench_test.go: workload construction, repeated timing, and the table
+// renderer that regenerates every figure/claim of the paper (see the
+// experiment index in DESIGN.md and the results in EXPERIMENTS.md).
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's result table.
+type Table struct {
+	ID     string
+	Title  string
+	Claim  string // the paper's corresponding claim
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond).String()
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "*Paper claim:* %s\n\n", t.Claim)
+	}
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n%s\n", n)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Timing is a small sample of repeated measurements.
+type Timing struct {
+	Samples []time.Duration
+}
+
+// Measure runs f reps times (after one warmup) and collects wall times.
+func Measure(reps int, f func()) Timing {
+	f() // warmup
+	t := Timing{Samples: make([]time.Duration, 0, reps)}
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		f()
+		t.Samples = append(t.Samples, time.Since(start))
+	}
+	return t
+}
+
+// Median returns the median sample.
+func (t Timing) Median() time.Duration {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), t.Samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// Min returns the fastest sample.
+func (t Timing) Min() time.Duration {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	m := t.Samples[0]
+	for _, s := range t.Samples[1:] {
+		if s < m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Speedup returns base/other as a factor.
+func Speedup(base, other time.Duration) float64 {
+	if other == 0 {
+		return 0
+	}
+	return float64(base) / float64(other)
+}

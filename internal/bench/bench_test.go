@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableMarkdown(t *testing.T) {
+	tab := &Table{
+		ID:     "EX",
+		Title:  "demo",
+		Claim:  "something holds",
+		Header: []string{"a", "b"},
+	}
+	tab.AddRow("x", 1500*time.Microsecond)
+	tab.AddRow(3.14159, true)
+	tab.Notes = append(tab.Notes, "note")
+	md := tab.Markdown()
+	for _, want := range []string{"### EX — demo", "*Paper claim:* something holds",
+		"| a | b |", "| x | 1.5ms |", "| 3.14 | true |", "note"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestMeasureAndStats(t *testing.T) {
+	calls := 0
+	tm := Measure(4, func() { calls++; time.Sleep(time.Millisecond) })
+	if calls != 5 { // 4 + warmup
+		t.Fatalf("calls = %d", calls)
+	}
+	if len(tm.Samples) != 4 {
+		t.Fatalf("samples = %d", len(tm.Samples))
+	}
+	if tm.Median() < time.Millisecond/2 || tm.Min() > tm.Median() {
+		t.Fatalf("median=%v min=%v", tm.Median(), tm.Min())
+	}
+	var empty Timing
+	if empty.Median() != 0 || empty.Min() != 0 {
+		t.Fatal("empty timing must be zero")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(2*time.Second, time.Second) != 2.0 {
+		t.Fatal("speedup broken")
+	}
+	if Speedup(time.Second, 0) != 0 {
+		t.Fatal("zero divisor must yield 0")
+	}
+}
+
+// Smoke-test the fast experiment runners end to end with minimal reps (the
+// full sweep lives in cmd/experiments).
+func TestExperimentRunnersSmoke(t *testing.T) {
+	old := Reps
+	Reps = 1
+	defer func() { Reps = old }()
+	for _, tab := range []*Table{E1Fig1(), E4Sequential()} {
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s: empty table", tab.ID)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Fatalf("%s: ragged row %v", tab.ID, row)
+			}
+		}
+		if !strings.Contains(tab.Markdown(), tab.ID) {
+			t.Fatalf("%s: markdown broken", tab.ID)
+		}
+	}
+	// Every boolean bound column in E1 must hold.
+	for _, row := range E1Fig1().Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("E1 bound violated: %v", row)
+		}
+	}
+}
+
+func TestWorkloadsComplete(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 3 {
+		t.Fatalf("workloads = %d", len(ws))
+	}
+	for _, w := range ws {
+		if w.Puzzle == nil || w.Puzzle.CountFilled() == 0 {
+			t.Fatalf("bad workload %s", w.Name)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BoxFunc is the computation wrapped by a box.  It receives the values bound
+// to the box signature's input labels, in signature order (tag labels arrive
+// as int), and emits any number of output records through the emitter — the
+// paper's snet_out interface.  Box functions must be stateless and must not
+// retain args or emitted values after returning; the runtime may run many
+// instances of the same box concurrently (one per replica).
+//
+// A returned error is reported to the run's error handler; the box then
+// continues with the next record.
+type BoxFunc func(args []any, out *Emitter) error
+
+// ErrCancelled is returned by Emitter.Out when the run has been cancelled;
+// box functions should return promptly when they see it.
+var ErrCancelled = errors.New("core: run cancelled")
+
+// Emitter delivers a box invocation's output records — the snet_out
+// interface function of §4.  It is valid only for the duration of the box
+// call it was passed to.
+type Emitter struct {
+	env      *runEnv
+	out      chan<- item
+	box      *boxNode
+	src      *Record
+	consumed Variant
+	stopped  bool
+	emitted  int
+}
+
+// Out emits one record according to output variant number `variant`
+// (1-based, as in the paper's snet_out(1, x)).  vals must match the
+// signature's label tuple for that variant: tag labels take int values.
+// Excess labels of the input record are attached by flow inheritance unless
+// the output already carries them.
+func (e *Emitter) Out(variant int, vals ...any) error {
+	if variant < 1 || variant > len(e.box.boxSig.Out) {
+		return fmt.Errorf("core: box %s: snet_out variant %d out of range 1..%d",
+			e.box.label, variant, len(e.box.boxSig.Out))
+	}
+	labels := e.box.boxSig.Out[variant-1]
+	if len(vals) != len(labels) {
+		return fmt.Errorf("core: box %s: snet_out variant %d needs %d values, got %d",
+			e.box.label, variant, len(labels), len(vals))
+	}
+	rec := NewRecord()
+	for i, l := range labels {
+		if l.IsTag {
+			tv, ok := vals[i].(int)
+			if !ok {
+				return fmt.Errorf("core: box %s: value for tag <%s> must be int, got %T",
+					e.box.label, l.Name, vals[i])
+			}
+			rec.SetTag(l.Name, tv)
+		} else {
+			rec.SetField(l.Name, vals[i])
+		}
+	}
+	inheritInto(rec, e.src, e.consumed)
+	e.env.trace(e.box.label, "out", rec)
+	if !sendRecord(e.env, e.out, rec) {
+		e.stopped = true
+		return ErrCancelled
+	}
+	e.emitted++
+	return nil
+}
+
+// Emitted reports how many records this invocation has emitted so far.
+func (e *Emitter) Emitted() int { return e.emitted }
+
+// boxNode wraps a BoxFunc as a network component.
+type boxNode struct {
+	label  string
+	boxSig *BoxSignature
+	fn     BoxFunc
+}
+
+// NewBox declares a box with the given name, signature and function —
+// the S-Net `box name (in) -> (out) | ...` declaration.
+func NewBox(name string, sig *BoxSignature, fn BoxFunc) Node {
+	if name == "" {
+		name = autoName("box")
+	}
+	if sig == nil {
+		panic("core: NewBox: nil signature")
+	}
+	if fn == nil {
+		panic("core: NewBox: nil box function")
+	}
+	return &boxNode{label: name, boxSig: sig, fn: fn}
+}
+
+func (b *boxNode) name() string   { return b.label }
+func (b *boxNode) String() string { return "box " + b.label + " " + b.boxSig.String() }
+
+func (b *boxNode) sig(*checker) (RecType, RecType) {
+	return b.boxSig.InType(), b.boxSig.OutType()
+}
+
+func (b *boxNode) run(env *runEnv, in <-chan item, out chan<- item) {
+	defer close(out)
+	env.stats.Add("box."+b.label+".instances", 1)
+	consumed := NewVariant(b.boxSig.In...)
+	for {
+		it, ok := recv(env, in)
+		if !ok {
+			return
+		}
+		if it.mk != nil {
+			if !send(env, out, it) {
+				return
+			}
+			continue
+		}
+		rec := it.rec
+		env.trace(b.label, "in", rec)
+		args, ok := b.bindArgs(rec)
+		if !ok {
+			env.error(fmt.Errorf("core: box %s: input record %s does not match signature %s",
+				b.label, rec, b.boxSig))
+			env.stats.Add("box."+b.label+".rejected", 1)
+			continue
+		}
+		em := &Emitter{env: env, out: out, box: b, src: rec, consumed: consumed}
+		b.invoke(env, args, em)
+		env.stats.Add("box."+b.label+".calls", 1)
+		if em.stopped || ctxDone(env.ctx) {
+			return
+		}
+	}
+}
+
+// invoke runs the box function with panic isolation: a panicking box loses
+// the current record but the network keeps running (failure injection tests
+// rely on this).
+func (b *boxNode) invoke(env *runEnv, args []any, em *Emitter) {
+	defer func() {
+		if r := recover(); r != nil {
+			env.error(fmt.Errorf("core: box %s panicked: %v", b.label, r))
+			env.stats.Add("box."+b.label+".panics", 1)
+		}
+	}()
+	if err := b.fn(args, em); err != nil && !errors.Is(err, ErrCancelled) {
+		env.error(fmt.Errorf("core: box %s: %w", b.label, err))
+	}
+}
+
+// bindArgs extracts the signature-ordered argument values from a record.
+func (b *boxNode) bindArgs(rec *Record) ([]any, bool) {
+	args := make([]any, len(b.boxSig.In))
+	for i, l := range b.boxSig.In {
+		if l.IsTag {
+			v, ok := rec.Tag(l.Name)
+			if !ok {
+				return nil, false
+			}
+			args[i] = v
+		} else {
+			v, ok := rec.Field(l.Name)
+			if !ok {
+				return nil, false
+			}
+			args[i] = v
+		}
+	}
+	return args, true
+}

@@ -1,0 +1,93 @@
+package core
+
+import "fmt"
+
+// filterNode executes a FilterSpec as a network component.
+type filterNode struct {
+	label string
+	spec  *FilterSpec
+}
+
+// NewFilter wraps a filter specification as a node.  Records matching the
+// pattern are rewritten into the specified output records (with flow
+// inheritance of unconsumed labels); records that do not match are forwarded
+// unchanged and counted under "filter.<name>.nomatch" — with a well-typed
+// network this never happens.
+func NewFilter(spec *FilterSpec) Node {
+	if spec == nil {
+		panic("core: NewFilter: nil spec")
+	}
+	return &filterNode{label: autoName("filter"), spec: spec}
+}
+
+// FilterFrom parses a filter in the paper's notation and wraps it as a node.
+func FilterFrom(src string) (Node, error) {
+	spec, err := ParseFilter(src)
+	if err != nil {
+		return nil, err
+	}
+	return NewFilter(spec), nil
+}
+
+// MustFilter is FilterFrom panicking on error, for network literals.
+func MustFilter(src string) Node {
+	n, err := FilterFrom(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func (f *filterNode) name() string   { return f.label }
+func (f *filterNode) String() string { return f.spec.String() }
+
+func (f *filterNode) sig(*checker) (RecType, RecType) {
+	return RecType{f.spec.Pattern.Variant}, f.spec.OutType()
+}
+
+// score makes filter guards participate in best-match routing: a guarded
+// filter only attracts records its guard admits.
+func (f *filterNode) score(rec *Record) int {
+	if !f.spec.Pattern.Matches(rec) {
+		return -1
+	}
+	return len(f.spec.Pattern.Variant)
+}
+
+func (f *filterNode) run(env *runEnv, in <-chan item, out chan<- item) {
+	defer close(out)
+	for {
+		it, ok := recv(env, in)
+		if !ok {
+			return
+		}
+		if it.mk != nil {
+			if !send(env, out, it) {
+				return
+			}
+			continue
+		}
+		rec := it.rec
+		env.trace(f.label, "in", rec)
+		if !f.spec.Pattern.Matches(rec) {
+			env.stats.Add("filter."+f.label+".nomatch", 1)
+			if !send(env, out, it) {
+				return
+			}
+			continue
+		}
+		outs, err := f.spec.Apply(rec)
+		if err != nil {
+			env.error(fmt.Errorf("core: filter %s: %w", f.label, err))
+			env.stats.Add("filter."+f.label+".errors", 1)
+			continue
+		}
+		env.stats.Add("filter."+f.label+".applied", 1)
+		for _, o := range outs {
+			env.trace(f.label, "out", o)
+			if !sendRecord(env, out, o) {
+				return
+			}
+		}
+	}
+}

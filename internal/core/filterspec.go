@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FilterItem is one element of a filter output record specifier (§4):
+//
+//   - a field name occurring in the pattern: copied to the new record;
+//   - newfield = oldfield: the old field's value under a new label;
+//   - <tag>: copied if the tag occurs in the pattern, else initialised to 0;
+//   - <tag> = expr: a tag computed from the incoming record's tags.
+type FilterItem struct {
+	// Field items (IsTag false): Name is the new label, Src the pattern
+	// field it is copied from (Src == Name for plain copies).
+	// Tag items (IsTag true): Name is the new tag label, Expr its value
+	// expression; nil Expr means "copy if in pattern, else zero".
+	Name  string
+	IsTag bool
+	Src   string
+	Expr  TagExpr
+}
+
+func (it FilterItem) String() string {
+	if it.IsTag {
+		if it.Expr == nil {
+			return "<" + it.Name + ">"
+		}
+		return "<" + it.Name + ">=" + it.Expr.String()
+	}
+	if it.Src == it.Name {
+		return it.Name
+	}
+	return it.Name + "=" + it.Src
+}
+
+// FilterSpec is a complete filter: a pattern and the list of output record
+// specifiers produced for every matching input record.
+//
+//	[ {a,b,<c>} -> {a, z=a, <t>}; {b, a=b, <c>=<c>+1} ]
+//
+// Labels of the incoming record that do not occur in the pattern are
+// attached to every output record by flow inheritance, unless the output
+// already carries the label.
+type FilterSpec struct {
+	Pattern Pattern
+	Outputs [][]FilterItem
+}
+
+func (f *FilterSpec) String() string {
+	outs := make([]string, len(f.Outputs))
+	for i, o := range f.Outputs {
+		parts := make([]string, len(o))
+		for j, it := range o {
+			parts[j] = it.String()
+		}
+		outs[i] = "{" + strings.Join(parts, ",") + "}"
+	}
+	return "[" + f.Pattern.String() + " -> " + strings.Join(outs, "; ") + "]"
+}
+
+// OutType approximates the filter's output type from the specifiers.
+func (f *FilterSpec) OutType() RecType {
+	out := make(RecType, len(f.Outputs))
+	for i, items := range f.Outputs {
+		v := Variant{}
+		for _, it := range items {
+			v[Label{Name: it.Name, IsTag: it.IsTag}] = struct{}{}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Apply builds the output records for one matching input record.  It
+// returns an error when a tag expression cannot be evaluated.
+func (f *FilterSpec) Apply(rec *Record) ([]*Record, error) {
+	outs := make([]*Record, 0, len(f.Outputs))
+	for _, items := range f.Outputs {
+		o := NewRecord()
+		for _, it := range items {
+			if it.IsTag {
+				switch {
+				case it.Expr != nil:
+					v, err := it.Expr.Eval(rec.tagEnv())
+					if err != nil {
+						return nil, fmt.Errorf("filter %s: %w", f, err)
+					}
+					o.SetTag(it.Name, v)
+				default:
+					if v, ok := rec.Tag(it.Name); ok && f.Pattern.Variant.Has(Tag(it.Name)) {
+						o.SetTag(it.Name, v)
+					} else {
+						o.SetTag(it.Name, 0)
+					}
+				}
+				continue
+			}
+			v, ok := rec.Field(it.Src)
+			if !ok {
+				return nil, fmt.Errorf("filter %s: input record %s has no field %q", f, rec, it.Src)
+			}
+			o.SetField(it.Name, v)
+		}
+		inheritInto(o, rec, f.Pattern.Variant)
+		outs = append(outs, o)
+	}
+	return outs, nil
+}
+
+// inheritInto implements flow inheritance: every label of src that is not
+// consumed (not in the consumed variant) is copied to dst unless dst already
+// carries the label.
+func inheritInto(dst, src *Record, consumed Variant) {
+	for name, v := range src.fields {
+		if consumed.Has(Field(name)) {
+			continue
+		}
+		if _, ok := dst.fields[name]; !ok {
+			dst.fields[name] = v
+		}
+	}
+	for name, v := range src.tags {
+		if consumed.Has(Tag(name)) {
+			continue
+		}
+		if _, ok := dst.tags[name]; !ok {
+			dst.tags[name] = v
+		}
+	}
+}
+
+// ParseFilter parses the paper's filter notation, with or without the
+// enclosing brackets:
+//
+//	[{a,b,<c>} -> {a,z=a,<t>}; {b,a=b,<c>=<c>+1}]
+//
+// An empty output list ("[{x} -> ]") is permitted and discards matching
+// records (useful for termination sinks).
+func ParseFilter(src string) (*FilterSpec, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	bracketed := p.accept(tokLBrack)
+	pat, err := p.parsePattern()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return nil, err
+	}
+	spec := &FilterSpec{Pattern: pat}
+	for p.at(tokLBrace) {
+		items, err := p.parseFilterOutput(pat)
+		if err != nil {
+			return nil, err
+		}
+		spec.Outputs = append(spec.Outputs, items)
+		if !p.accept(tokSemi) {
+			break
+		}
+	}
+	if bracketed {
+		if _, err := p.expect(tokRBrack); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.eof(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// MustParseFilter is ParseFilter panicking on error.
+func MustParseFilter(src string) *FilterSpec {
+	f, err := ParseFilter(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func (p *parser) parseFilterOutput(pat Pattern) ([]FilterItem, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	items := []FilterItem{}
+	if p.accept(tokRBrace) {
+		return items, nil
+	}
+	for {
+		switch p.peek().kind {
+		case tokIdent:
+			name := p.take().text
+			if p.accept(tokAssign) {
+				src, err := p.expect(tokIdent)
+				if err != nil {
+					return nil, err
+				}
+				if !pat.Variant.Has(Field(src.text)) {
+					return nil, p.errf("field %q not in filter pattern", src.text)
+				}
+				items = append(items, FilterItem{Name: name, Src: src.text})
+			} else {
+				if !pat.Variant.Has(Field(name)) {
+					return nil, p.errf("field %q not in filter pattern", name)
+				}
+				items = append(items, FilterItem{Name: name, Src: name})
+			}
+		case tokTagName:
+			name := p.take().text
+			if p.accept(tokAssign) {
+				e, err := p.parseTagExpr()
+				if err != nil {
+					return nil, err
+				}
+				for _, ref := range e.TagRefs(nil) {
+					if !pat.Variant.Has(Tag(ref)) {
+						return nil, p.errf("tag <%s> used in expression but not in filter pattern", ref)
+					}
+				}
+				items = append(items, FilterItem{Name: name, IsTag: true, Expr: e})
+			} else {
+				items = append(items, FilterItem{Name: name, IsTag: true})
+			}
+		default:
+			return nil, p.errf("expected filter item, found %v", p.peek().kind)
+		}
+		if p.accept(tokComma) {
+			continue
+		}
+		if _, err := p.expect(tokRBrace); err != nil {
+			return nil, err
+		}
+		return items, nil
+	}
+}

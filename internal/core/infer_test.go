@@ -1,0 +1,143 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInferBoxSignature(t *testing.T) {
+	b := NewBox("foo", MustParseSignature("(a,<b>) -> (c) | (c,d,<e>)"), nopFn)
+	in, out := Infer(b)
+	if len(in) != 1 || !in[0].Equal(v(Field("a"), Tag("b"))) {
+		t.Fatalf("in = %v", in)
+	}
+	if len(out) != 2 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+var nopFn = func(args []any, out *Emitter) error { return nil }
+
+func TestInferSerialComposition(t *testing.T) {
+	a := NewBox("a", MustParseSignature("(x) -> (y)"), nopFn)
+	b := NewBox("b", MustParseSignature("(y) -> (z)"), nopFn)
+	in, out, diags := Check(Serial(a, b))
+	if !in[0].Equal(v(Field("x"))) || !out[0].Equal(v(Field("z"))) {
+		t.Fatalf("in=%v out=%v", in, out)
+	}
+	for _, d := range diags {
+		if !d.Warning {
+			t.Fatalf("unexpected error: %v", d)
+		}
+	}
+}
+
+func TestCheckSerialMismatchWarns(t *testing.T) {
+	a := NewBox("a", MustParseSignature("(x) -> (y)"), nopFn)
+	b := NewBox("b", MustParseSignature("(q) -> (z)"), nopFn)
+	_, _, diags := Check(Serial(a, b))
+	if len(diags) == 0 {
+		t.Fatal("expected a diagnostic for y -> (q)")
+	}
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Msg, "flow inheritance") {
+			found = true
+		}
+		if d.String() == "" {
+			t.Fatal("empty diagnostic rendering")
+		}
+	}
+	if !found {
+		t.Fatalf("diagnostics = %v", diags)
+	}
+}
+
+func TestInferParallelUnion(t *testing.T) {
+	a := NewBox("a", MustParseSignature("(x) -> (u)"), nopFn)
+	b := NewBox("b", MustParseSignature("(y) -> (w)"), nopFn)
+	in, out := Infer(Parallel(a, b))
+	if len(in) != 2 || len(out) != 2 {
+		t.Fatalf("in=%v out=%v", in, out)
+	}
+}
+
+func TestInferStar(t *testing.T) {
+	// dec's second variant carries <done>: exit statically reachable.
+	n := Star(decBox(), MustParsePattern("{<done>}"))
+	in, out, diags := Check(n)
+	if len(diags) != 0 {
+		t.Fatalf("diags = %v", diags)
+	}
+	// Input accepts the operand's input or an immediately-exiting record.
+	if len(in) != 2 {
+		t.Fatalf("in = %v", in)
+	}
+	if !out[0].Equal(v(Tag("done"))) {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestCheckStarUnreachableExitWarns(t *testing.T) {
+	n := Star(incBox("spin", 1), MustParsePattern("{<done>}"))
+	_, _, diags := Check(n)
+	if len(diags) != 1 || !diags[0].Warning {
+		t.Fatalf("diags = %v", diags)
+	}
+}
+
+func TestInferSplitAddsIndexTag(t *testing.T) {
+	n := Split(incBox("i", 0), "k")
+	in, out := Infer(n)
+	if !in[0].Equal(v(Tag("n"), Tag("k"))) {
+		t.Fatalf("in = %v", in)
+	}
+	if !out[0].Equal(v(Tag("n"))) {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestInferFilter(t *testing.T) {
+	n := MustFilter("{a,<c>} -> {a,<t>}")
+	in, out := Infer(n)
+	if !in[0].Equal(v(Field("a"), Tag("c"))) {
+		t.Fatalf("in = %v", in)
+	}
+	if !out[0].Equal(v(Field("a"), Tag("t"))) {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestInferSync(t *testing.T) {
+	n := Sync(MustParsePattern("{a}"), MustParsePattern("{b,<t>}"))
+	in, out := Infer(n)
+	if len(in) != 2 {
+		t.Fatalf("in = %v", in)
+	}
+	if !out[0].Equal(v(Field("a"), Field("b"), Tag("t"))) {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestNodeStringRendering(t *testing.T) {
+	n := Serial(
+		NewBox("cO", MustParseSignature("(board) -> (board,opts)"), nopFn),
+		Star(NewBox("sOL", MustParseSignature("(board,opts) -> (board,opts) | (board,<done>)"), nopFn),
+			MustParsePattern("{<done>}")),
+	)
+	s := n.String()
+	for _, want := range []string{"box cO", "box sOL", "**", "{<done>}", ".."} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	// Deterministic variants render with single symbols.
+	d := SplitDet(incBox("x", 0), "k").String()
+	if !strings.Contains(d, " ! ") || strings.Contains(d, "!!") {
+		t.Fatalf("det split rendering: %q", d)
+	}
+	p := ParallelDet(incBox("x", 0), incBox("y", 0)).String()
+	if !strings.Contains(p, " | ") {
+		t.Fatalf("det parallel rendering: %q", p)
+	}
+}

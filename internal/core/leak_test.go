@@ -1,0 +1,106 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// goroutineCount samples the goroutine count after a settle period.
+func goroutineCount() int {
+	for i := 0; i < 10; i++ {
+		runtime.Gosched()
+	}
+	time.Sleep(10 * time.Millisecond)
+	return runtime.NumGoroutine()
+}
+
+// waitForGoroutines polls until the count drops to at most want (plus
+// slack), failing the test on timeout.
+func waitForGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= want {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutine leak: %d > %d\n%s", runtime.NumGoroutine(), want, buf[:n])
+}
+
+func TestNoLeakAfterNormalDrain(t *testing.T) {
+	base := goroutineCount()
+	for i := 0; i < 5; i++ {
+		n := Serial(
+			incBox("l1", 1),
+			NamedStar("loop", decBox(), MustParsePattern("{<done>}")),
+			MustFilter("{<done>} -> {<done>=<done>}"),
+		)
+		out, _, err := RunAll(context.Background(), n, []*Record{recN(4), recN(2)})
+		if err != nil || len(out) != 2 {
+			t.Fatalf("run %d: out=%d err=%v", i, len(out), err)
+		}
+	}
+	waitForGoroutines(t, base+3)
+}
+
+func TestNoLeakAfterCancel(t *testing.T) {
+	base := goroutineCount()
+	for i := 0; i < 5; i++ {
+		slow := NewBox("lslow", MustParseSignature("(<n>) -> (<n>)"),
+			func(args []any, out *Emitter) error {
+				time.Sleep(time.Millisecond)
+				return out.Out(1, args[0].(int))
+			})
+		n := Split(Serial(slow, NamedStar("lloop", decBox(), MustParsePattern("{<done>}"))), "k")
+		h := Start(context.Background(), n)
+		for j := 0; j < 20; j++ {
+			_ = h.Send(NewRecord().SetTag("n", 10).SetTag("k", j%4))
+		}
+		h.Cancel()
+		h.Wait()
+	}
+	waitForGoroutines(t, base+3)
+}
+
+func TestNoLeakDeterministicNets(t *testing.T) {
+	base := goroutineCount()
+	for i := 0; i < 5; i++ {
+		n := SplitDet(StarDet(decBox(), MustParsePattern("{<done>}")), "k")
+		inputs := seqInputs(10, func(j int, r *Record) {
+			r.SetTag("k", j%3).SetTag("n", j%4)
+		})
+		out, _, err := RunAll(context.Background(), n, inputs)
+		if err != nil || len(out) != 10 {
+			t.Fatalf("run %d: out=%d err=%v", i, len(out), err)
+		}
+	}
+	waitForGoroutines(t, base+3)
+}
+
+func TestNoLeakUnconsumedOutput(t *testing.T) {
+	// Cancel with records still queued in the output adapter and a
+	// sender still blocked on backpressure; h.Out() is never read.
+	base := goroutineCount()
+	for i := 0; i < 5; i++ {
+		h := Start(context.Background(), incBox("u", 1), WithBuffer(2))
+		sendDone := make(chan struct{})
+		go func() {
+			defer close(sendDone)
+			for j := 0; j < 10; j++ {
+				if h.Send(recN(j)) != nil {
+					return
+				}
+			}
+		}()
+		time.Sleep(time.Millisecond)
+		h.Cancel()
+		<-sendDone
+		h.Wait()
+	}
+	waitForGoroutines(t, base+3)
+}

@@ -1,0 +1,323 @@
+package core
+
+import "sort"
+
+// This file implements the shared splitter/merger machinery of the three
+// branching combinators (parallel composition, serial replication, parallel
+// replication).
+//
+// Nondeterministic variants (the paper's ||, **, !!) merge branch outputs as
+// soon as records become available: "any record produced proceeds as soon as
+// possible" (§4).
+//
+// Deterministic variants (|, *, !) implement a sort-record protocol.  The
+// splitter broadcasts a control marker to all live branches after every
+// routed data record.  Each branch preserves FIFO order and forwards
+// markers, so the k-th marker on every branch delimits the same input
+// prefix.  The merger buffers each branch's output into regions bounded by
+// markers and emits region t — in fixed branch order — once every branch
+// has delivered marker t (or closed).  Branches created lazily (replication
+// unfolds on demand) join with the current marker count; earlier regions
+// are vacuously empty for them.
+//
+// Markers originating from an enclosing deterministic combinator ("foreign"
+// markers) are broadcast and merged exactly the same way, which makes inner
+// combinators — deterministic or not — order-transparent to outer ones.
+
+// branch event kinds flowing into the merger.
+const (
+	evRegister = iota // new branch: id + join mark
+	evItem            // record or marker arriving from a branch
+	evClosed          // branch output closed
+	evMarker          // splitter announces a marker (identity + global number)
+	evDone            // splitter finished; no further branches or markers
+)
+
+type branchEvent struct {
+	kind int
+	id   int
+	join int  // evRegister: markers broadcast before this branch existed
+	seq  int  // evMarker: global marker number
+	it   item // evItem payload; evMarker identity (it.mk)
+}
+
+// branchPort is the splitter's handle to one branch.
+type branchPort struct {
+	id int
+	in stream
+}
+
+// fanout is the splitter half: it owns branch creation, routing and marker
+// broadcast.  All methods are called from the combinator's run goroutine
+// only.
+type fanout struct {
+	env       *runEnv
+	det       bool
+	level     int // own marker level (det only)
+	ownTicket uint64
+	mux       chan branchEvent
+	branches  []*branchPort
+	markers   int // global marker count broadcast so far
+}
+
+func newFanout(env *runEnv, det bool) *fanout {
+	f := &fanout{env: env, det: det, mux: make(chan branchEvent, env.buf+4)}
+	if det {
+		f.level = env.newLevel()
+	}
+	return f
+}
+
+// sendEv delivers an event to the merger; false means the run is cancelled.
+func (f *fanout) sendEv(e branchEvent) bool {
+	select {
+	case f.mux <- e:
+		return true
+	case <-f.env.ctx.Done():
+		return false
+	}
+}
+
+// addBranch registers a new branch running node n; a nil node is an identity
+// passthrough (used for the exit path of serial replication).  It returns
+// the port for routing.
+func (f *fanout) addBranch(n Node) *branchPort {
+	port := &branchPort{id: len(f.branches), in: make(stream, f.env.buf)}
+	f.branches = append(f.branches, port)
+	f.sendEv(branchEvent{kind: evRegister, id: port.id, join: f.markers})
+	var branchOut <-chan item
+	if n == nil {
+		branchOut = port.in
+	} else {
+		out := make(stream, f.env.buf)
+		go n.run(f.env, port.in, out)
+		branchOut = out
+	}
+	go f.pump(port.id, branchOut)
+	return port
+}
+
+// pump forwards one branch's output into the merger mux.
+func (f *fanout) pump(id int, ch <-chan item) {
+	for {
+		it, ok := recv(f.env, ch)
+		if !ok {
+			break
+		}
+		if !f.sendEv(branchEvent{kind: evItem, id: id, it: it}) {
+			return
+		}
+	}
+	f.sendEv(branchEvent{kind: evClosed, id: id})
+}
+
+// route sends a data record into a branch; false on cancellation.
+func (f *fanout) route(port *branchPort, r *Record) bool {
+	return send(f.env, port.in, item{rec: r})
+}
+
+// afterRoute emits the per-record sort marker in deterministic mode.
+func (f *fanout) afterRoute() bool {
+	if !f.det {
+		return true
+	}
+	f.ownTicket++
+	return f.broadcast(&marker{level: f.level, ticket: f.ownTicket})
+}
+
+// forwardMarker broadcasts a foreign marker from an enclosing deterministic
+// combinator through all branches.
+func (f *fanout) forwardMarker(mk *marker) bool { return f.broadcast(mk) }
+
+func (f *fanout) broadcast(mk *marker) bool {
+	f.markers++
+	if !f.sendEv(branchEvent{kind: evMarker, seq: f.markers, it: item{mk: mk}}) {
+		return false
+	}
+	for _, port := range f.branches {
+		if !send(f.env, port.in, item{mk: mk}) {
+			return false
+		}
+	}
+	return true
+}
+
+// finish closes all branch inputs and tells the merger no more branches or
+// markers will appear.
+func (f *fanout) finish() {
+	for _, port := range f.branches {
+		close(port.in)
+	}
+	f.sendEv(branchEvent{kind: evDone})
+}
+
+// mergerBranch is the merger-side view of one branch.
+type mergerBranch struct {
+	join        int
+	closed      bool
+	markersSeen int
+	regions     map[int][]*Record // det: buffered data per region
+}
+
+// lastGlobalMarker returns the global number of the latest marker this
+// branch has delivered.
+func (b *mergerBranch) lastGlobalMarker() int { return b.join + b.markersSeen }
+
+// mergeLoop is the merger half; the combinator runs it in a dedicated
+// goroutine.  It writes merged output to out and returns when the splitter
+// is done and all branches have closed (or on cancellation).  The caller
+// closes out.
+func (f *fanout) mergeLoop(out chan<- item, ownLevel int) {
+	var (
+		branches     []*mergerBranch
+		markerIDs    = map[int]*marker{}
+		totalMarkers int
+		emitted      int
+		done         bool
+	)
+	allClosed := func() bool {
+		for _, b := range branches {
+			if !b.closed {
+				return false
+			}
+		}
+		return true
+	}
+	regionComplete := func(next int) bool {
+		for _, b := range branches {
+			if b.join >= next || b.closed {
+				continue
+			}
+			if b.lastGlobalMarker() < next {
+				return false
+			}
+		}
+		return true
+	}
+	emitRegion := func(next int) bool {
+		for _, b := range branches {
+			for _, r := range b.regions[next] {
+				if !sendRecord(f.env, out, r) {
+					return false
+				}
+			}
+			delete(b.regions, next)
+		}
+		mk := markerIDs[next]
+		delete(markerIDs, next)
+		if mk != nil && mk.level != ownLevel {
+			if !send(f.env, out, item{mk: mk}) {
+				return false
+			}
+		}
+		return true
+	}
+	// tryAdvance emits all currently complete regions; false on cancel.
+	tryAdvance := func() bool {
+		for emitted < totalMarkers {
+			next := emitted + 1
+			if _, announced := markerIDs[next]; !announced {
+				return true // identity not yet known
+			}
+			if !regionComplete(next) {
+				return true
+			}
+			if !emitRegion(next) {
+				return false
+			}
+			emitted = next
+		}
+		return true
+	}
+	// flushTails emits data buffered after the last marker of each branch
+	// (or all data, in runs without any markers), in branch order.
+	flushTails := func() bool {
+		for _, b := range branches {
+			keys := make([]int, 0, len(b.regions))
+			for k := range b.regions {
+				keys = append(keys, k)
+			}
+			sort.Ints(keys)
+			for _, k := range keys {
+				for _, r := range b.regions[k] {
+					if !sendRecord(f.env, out, r) {
+						return false
+					}
+				}
+			}
+			b.regions = nil
+		}
+		return true
+	}
+	for {
+		select {
+		case <-f.env.ctx.Done():
+			return
+		case e := <-f.mux:
+			switch e.kind {
+			case evRegister:
+				for len(branches) <= e.id {
+					branches = append(branches, nil)
+				}
+				branches[e.id] = &mergerBranch{join: e.join, regions: map[int][]*Record{}}
+			case evItem:
+				// During cancellation sendEv may drop an
+				// evRegister (its select races ctx.Done against
+				// the mux send) while a later evItem still gets
+				// through; the run is being abandoned, so drop
+				// such orphaned events.
+				if e.id >= len(branches) || branches[e.id] == nil {
+					break
+				}
+				b := branches[e.id]
+				if e.it.mk != nil {
+					b.markersSeen++
+					if !tryAdvance() {
+						return
+					}
+					break
+				}
+				region := b.lastGlobalMarker() + 1
+				// Nondeterministic merging forwards eagerly, but
+				// only within the currently open marker region —
+				// data from later regions must wait so that an
+				// enclosing deterministic combinator sees a
+				// correctly ordered marker/data interleaving.
+				// Deterministic merging always buffers, emitting
+				// whole regions in branch order.
+				if !f.det && region == emitted+1 {
+					if !send(f.env, out, e.it) {
+						return
+					}
+					break
+				}
+				b.regions[region] = append(b.regions[region], e.it.rec)
+			case evMarker:
+				totalMarkers = e.seq
+				markerIDs[e.seq] = e.it.mk
+				if !tryAdvance() {
+					return
+				}
+			case evClosed:
+				if e.id >= len(branches) || branches[e.id] == nil {
+					break // see evItem: cancellation orphan
+				}
+				branches[e.id].closed = true
+				if !tryAdvance() {
+					return
+				}
+			case evDone:
+				done = true
+			}
+			if done && allClosed() {
+				if !tryAdvance() {
+					return
+				}
+				if emitted == totalMarkers {
+					flushTails()
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Handle is a running network: a SISO pair of streams plus run-wide
+// statistics.  Produce records with Send, signal end-of-input with Close,
+// and consume results from Out.  The network shuts down cleanly when the
+// input is closed and all in-flight records have drained, or promptly when
+// the context is cancelled.
+type Handle struct {
+	env    *runEnv
+	cancel context.CancelFunc
+	in     stream
+	outRec chan *Record
+	done   chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("core: network input closed")
+
+// Start launches the network described by root.  The returned handle owns
+// one run; the same Node tree can be started many times.
+func Start(ctx context.Context, root Node, opts ...Option) *Handle {
+	ctx, cancel := context.WithCancel(ctx)
+	env := &runEnv{
+		ctx:      ctx,
+		stats:    newStats(),
+		buf:      32,
+		maxDepth: 1 << 20,
+		maxWidth: 1 << 20,
+	}
+	for _, o := range opts {
+		o(env)
+	}
+	h := &Handle{
+		env:    env,
+		cancel: cancel,
+		in:     make(stream, env.buf),
+		outRec: make(chan *Record, env.buf),
+		done:   make(chan struct{}),
+	}
+	netOut := make(stream, env.buf)
+	go root.run(env, h.in, netOut)
+	go func() {
+		defer close(h.done)
+		defer close(h.outRec)
+		for {
+			it, ok := recv(env, netOut)
+			if !ok {
+				return
+			}
+			if it.mk != nil {
+				continue // markers are spent at the network boundary
+			}
+			select {
+			case h.outRec <- it.rec:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return h
+}
+
+// Send injects a record into the network, blocking on backpressure.  It
+// fails with ErrClosed after Close and with the context error after
+// cancellation.
+func (h *Handle) Send(r *Record) error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return ErrClosed
+	}
+	h.mu.Unlock()
+	select {
+	case h.in <- item{rec: r}:
+		return nil
+	case <-h.env.ctx.Done():
+		return h.env.ctx.Err()
+	}
+}
+
+// Close signals end-of-input.  It is idempotent.
+func (h *Handle) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.closed {
+		h.closed = true
+		close(h.in)
+	}
+}
+
+// Out returns the network's output stream.  It is closed after the network
+// drains (following Close) or is cancelled.
+func (h *Handle) Out() <-chan *Record { return h.outRec }
+
+// Stats returns the run's statistics collector.
+func (h *Handle) Stats() *Stats { return h.env.stats }
+
+// Cancel aborts the run.  Records in flight are dropped.
+func (h *Handle) Cancel() { h.cancel() }
+
+// Wait blocks until the output stream has closed.
+func (h *Handle) Wait() { <-h.done }
+
+// RunAll is a convenience harness: it starts the network, feeds all inputs,
+// closes the input and collects every output record.  It returns the
+// context's error if the run was cancelled.
+func RunAll(ctx context.Context, root Node, inputs []*Record, opts ...Option) ([]*Record, *Stats, error) {
+	h := Start(ctx, root, opts...)
+	defer h.Cancel()
+	go func() {
+		for _, r := range inputs {
+			if h.Send(r) != nil {
+				return
+			}
+		}
+		h.Close()
+	}()
+	var out []*Record
+	for r := range h.Out() {
+		out = append(out, r)
+	}
+	h.Wait()
+	return out, h.Stats(), ctx.Err()
+}
+
+// RunUntil starts the network, feeds inputs from the given slice, and
+// returns as soon as stop(record) reports true for an output record (that
+// record is returned) — the "first solution wins" harness for search
+// networks like the sudoku solvers.  If the network drains without stop
+// firing, RunUntil returns nil.
+func RunUntil(ctx context.Context, root Node, inputs []*Record, stop func(*Record) bool, opts ...Option) (*Record, *Stats, error) {
+	h := Start(ctx, root, opts...)
+	defer h.Cancel()
+	go func() {
+		for _, r := range inputs {
+			if h.Send(r) != nil {
+				return
+			}
+		}
+		h.Close()
+	}()
+	for r := range h.Out() {
+		if stop(r) {
+			h.Cancel()
+			return r, h.Stats(), nil
+		}
+	}
+	return nil, h.Stats(), ctx.Err()
+}

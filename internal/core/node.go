@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Node is a SISO stream component: a box, filter, synchrocell or combinator
+// network.  All combinators preserve the SISO property (§4), so any Node can
+// be used wherever a box can.  Nodes are blueprints: the same Node value can
+// be started any number of times; all execution state lives in the run.
+//
+// Node is a sealed interface; construct nodes with NewBox, NewFilter,
+// Serial, Parallel, Star, Split, Sync and Observe.
+type Node interface {
+	fmt.Stringer
+	// name returns the node's stats/trace identity.
+	name() string
+	// run consumes in until it closes or the run is cancelled, writing
+	// results to out; it must close out before returning and must
+	// forward foreign control markers in FIFO position.
+	run(env *runEnv, in <-chan item, out chan<- item)
+	// sig returns the node's inferred type signature, collecting
+	// diagnostics into c (which may be nil).
+	sig(c *checker) (in, out RecType)
+}
+
+// nodeSeq numbers anonymous nodes for stable stats keys.
+var nodeSeq atomic.Int64
+
+func autoName(kind string) string {
+	return fmt.Sprintf("%s#%d", kind, nodeSeq.Add(1))
+}
+
+// identityNode forwards records unchanged, optionally invoking an observer
+// callback — the tappable-stream debugging facility motivated in §1.
+type identityNode struct {
+	label string
+	fn    func(*Record)
+}
+
+// Observe returns a transparent node that invokes fn for every record
+// passing through.  It lets any stream in a network be observed individually
+// without disturbing the computation; compose it serially where needed.
+func Observe(label string, fn func(*Record)) Node {
+	if label == "" {
+		label = autoName("observe")
+	}
+	return &identityNode{label: label, fn: fn}
+}
+
+func (n *identityNode) name() string   { return n.label }
+func (n *identityNode) String() string { return "observe(" + n.label + ")" }
+
+func (n *identityNode) run(env *runEnv, in <-chan item, out chan<- item) {
+	defer close(out)
+	for {
+		it, ok := recv(env, in)
+		if !ok {
+			return
+		}
+		if it.rec != nil {
+			env.trace(n.label, "in", it.rec)
+			if n.fn != nil {
+				n.fn(it.rec)
+			}
+		}
+		if !send(env, out, it) {
+			return
+		}
+	}
+}
+
+func (n *identityNode) sig(*checker) (RecType, RecType) {
+	any := RecType{Variant{}}
+	return any, any
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// parallelNode is parallel composition: incoming records are routed to the
+// branch whose input type matches best; branch outputs are merged (§4).
+type parallelNode struct {
+	label    string
+	det      bool
+	branches []Node
+	rr       int // rotation counter for nondeterministic tie-breaking
+}
+
+// Parallel builds the nondeterministic parallel combinator (A||B); it
+// accepts two or more branches.  Records are routed by best match of the
+// record's type against the branch input types; outputs merge as soon as
+// they are produced.
+func Parallel(branches ...Node) Node {
+	return newParallel(false, branches)
+}
+
+// ParallelDet builds the deterministic parallel combinator (A|B): routing is
+// identical, but the merged output preserves the causal order of the inputs
+// (outputs of input n precede outputs of input n+1), and ties in match score
+// resolve to the leftmost branch.
+func ParallelDet(branches ...Node) Node {
+	return newParallel(true, branches)
+}
+
+func newParallel(det bool, branches []Node) Node {
+	if len(branches) < 2 {
+		panic("core: parallel composition needs at least two branches")
+	}
+	return &parallelNode{label: autoName("parallel"), det: det, branches: branches}
+}
+
+func (n *parallelNode) name() string { return n.label }
+
+func (n *parallelNode) String() string {
+	op := " || "
+	if n.det {
+		op = " | "
+	}
+	parts := make([]string, len(n.branches))
+	for i, b := range n.branches {
+		parts[i] = b.String()
+	}
+	return "(" + strings.Join(parts, op) + ")"
+}
+
+func (n *parallelNode) sig(c *checker) (RecType, RecType) {
+	var in, out RecType
+	for _, b := range n.branches {
+		bi, bo := b.sig(c)
+		in = in.Union(bi)
+		out = out.Union(bo)
+	}
+	return in, out
+}
+
+// recordScorer lets a node refine its routing score beyond its static input
+// type; filters use it so pattern guards participate in best-match routing.
+type recordScorer interface {
+	score(rec *Record) int
+}
+
+func (n *parallelNode) run(env *runEnv, in <-chan item, out chan<- item) {
+	defer close(out)
+	f := newFanout(env, n.det)
+	ports := make([]*branchPort, len(n.branches))
+	scorers := make([]func(*Record) int, len(n.branches))
+	for i, b := range n.branches {
+		if s, ok := b.(recordScorer); ok {
+			scorers[i] = s.score
+		} else {
+			t, _ := b.sig(nil)
+			scorers[i] = func(r *Record) int { return MatchScore(r, t) }
+		}
+		ports[i] = f.addBranch(b)
+	}
+	mergeDone := make(chan struct{})
+	go func() {
+		f.mergeLoop(out, f.level)
+		close(mergeDone)
+	}()
+	rr := n.rr
+	for {
+		it, ok := recv(env, in)
+		if !ok {
+			break
+		}
+		if it.mk != nil {
+			if !f.forwardMarker(it.mk) {
+				break
+			}
+			continue
+		}
+		rec := it.rec
+		best, count := -1, 0
+		for _, sc := range scorers {
+			if s := sc(rec); s > best {
+				best, count = s, 1
+			} else if s == best && s >= 0 {
+				count++
+			}
+		}
+		if best < 0 {
+			env.error(fmt.Errorf("core: parallel %s: record %s matches no branch", n.label, rec))
+			env.stats.Add("parallel."+n.label+".unroutable", 1)
+			continue
+		}
+		// Among equally-scored branches pick the leftmost (det) or
+		// rotate (nondet) — "one is selected non-deterministically".
+		pick := 0
+		if !n.det && count > 1 {
+			pick = rr % count
+			rr++
+		}
+		chosen := -1
+		for i, sc := range scorers {
+			if sc(rec) == best {
+				if pick == 0 {
+					chosen = i
+					break
+				}
+				pick--
+			}
+		}
+		env.stats.Add(fmt.Sprintf("parallel.%s.branch%d", n.label, chosen), 1)
+		if !f.route(ports[chosen], rec) || !f.afterRoute() {
+			break
+		}
+	}
+	go drain(env, in)
+	f.finish()
+	<-mergeDone
+}

@@ -1,0 +1,109 @@
+package core
+
+// Pattern is a type pattern with an optional tag guard, as used by serial
+// replication exit conditions and synchrocells.  The paper writes patterns
+// as "{<done>}" and guarded patterns as "{<level>} | <level> > 40".
+type Pattern struct {
+	Variant Variant
+	Guard   TagExpr // nil means unconditionally
+}
+
+// Matches reports whether the record satisfies the pattern: it must carry
+// every label of the variant and, if a guard is present, the guard must
+// evaluate to nonzero over the record's tags.  A guard that fails to
+// evaluate (e.g. references an absent tag) does not match.
+func (p Pattern) Matches(r *Record) bool {
+	if !recordSatisfies(r, p.Variant) {
+		return false
+	}
+	if p.Guard == nil {
+		return true
+	}
+	v, err := p.Guard.Eval(r.tagEnv())
+	return err == nil && v != 0
+}
+
+func (p Pattern) String() string {
+	s := p.Variant.String()
+	if p.Guard != nil {
+		s += " | " + p.Guard.String()
+	}
+	return s
+}
+
+// ParsePattern parses "{a, b, <c>}" optionally followed by a guard
+// introduced with '|' (the paper's notation) or the keyword "if".
+func ParsePattern(src string) (Pattern, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return Pattern{}, err
+	}
+	pat, err := p.parsePattern()
+	if err != nil {
+		return Pattern{}, err
+	}
+	if err := p.eof(); err != nil {
+		return Pattern{}, err
+	}
+	return pat, nil
+}
+
+// MustParsePattern is ParsePattern panicking on error.
+func MustParsePattern(src string) Pattern {
+	pat, err := ParsePattern(src)
+	if err != nil {
+		panic(err)
+	}
+	return pat
+}
+
+func (p *parser) parsePattern() (Pattern, error) {
+	v, err := p.parseBracedVariant()
+	if err != nil {
+		return Pattern{}, err
+	}
+	pat := Pattern{Variant: v}
+	if p.accept(tokPipe) || (p.at(tokIdent) && p.peek().text == "if" && p.accept(tokIdent)) {
+		g, err := p.parseTagExpr()
+		if err != nil {
+			return Pattern{}, err
+		}
+		pat.Guard = g
+	}
+	return pat, nil
+}
+
+// parseBracedVariant parses "{a, b, <c>}" into a label set.
+func (p *parser) parseBracedVariant() (Variant, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	v := Variant{}
+	if p.accept(tokRBrace) {
+		return v, nil
+	}
+	for {
+		l, err := p.parseLabel()
+		if err != nil {
+			return nil, err
+		}
+		v[l] = struct{}{}
+		if p.accept(tokComma) {
+			continue
+		}
+		if _, err := p.expect(tokRBrace); err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+}
+
+func (p *parser) parseLabel() (Label, error) {
+	switch p.peek().kind {
+	case tokIdent:
+		return Field(p.take().text), nil
+	case tokTagName:
+		return Tag(p.take().text), nil
+	}
+	return Label{}, p.errf("expected field or tag label, found %v", p.peek().kind)
+}

@@ -1,0 +1,182 @@
+// Package core implements the S-Net coordination runtime — the paper's
+// primary contribution (§4).
+//
+// S-Net turns functions into asynchronously executed, stateless
+// stream-processing components ("boxes") connected by typed streams of
+// records.  Records are non-recursive label/value collections: *fields*
+// carry values that are entirely opaque to the coordination layer, *tags*
+// carry integers visible to both layers.  Networks are composed from four
+// combinators — serial composition (..), parallel composition (||), serial
+// replication (**) and parallel replication (!!) — together with their
+// deterministic single-symbol variants (|, *, !), housekeeping filters, and
+// (as an S-Net language extension beyond the paper) synchrocells.
+//
+// Streams are Go channels; every box, filter, splitter and merger is a
+// goroutine.  Nondeterministic merging is channel multiplexing;
+// deterministic variants implement a sort-record protocol (see merge.go).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Record is an S-Net record: a set of labelled fields (opaque values) and
+// tags (integers).  Records are not safe for concurrent mutation; the
+// runtime hands each record to exactly one component at a time, which is the
+// S-Net data-flow discipline.
+type Record struct {
+	fields map[string]any
+	tags   map[string]int
+}
+
+// NewRecord returns an empty record.
+func NewRecord() *Record {
+	return &Record{fields: map[string]any{}, tags: map[string]int{}}
+}
+
+// SetField associates a field label with a value and returns the record for
+// chaining.
+func (r *Record) SetField(name string, v any) *Record {
+	r.fields[name] = v
+	return r
+}
+
+// SetTag associates a tag label with an integer and returns the record for
+// chaining.
+func (r *Record) SetTag(name string, v int) *Record {
+	r.tags[name] = v
+	return r
+}
+
+// Field returns the value of a field and whether it is present.
+func (r *Record) Field(name string) (any, bool) {
+	v, ok := r.fields[name]
+	return v, ok
+}
+
+// MustField returns the value of a field, panicking if absent (used by box
+// implementations whose signature guarantees presence).
+func (r *Record) MustField(name string) any {
+	v, ok := r.fields[name]
+	if !ok {
+		panic(fmt.Sprintf("core: record %v has no field %q", r, name))
+	}
+	return v
+}
+
+// Tag returns the value of a tag and whether it is present.
+func (r *Record) Tag(name string) (int, bool) {
+	v, ok := r.tags[name]
+	return v, ok
+}
+
+// MustTag returns the value of a tag, panicking if absent.
+func (r *Record) MustTag(name string) int {
+	v, ok := r.tags[name]
+	if !ok {
+		panic(fmt.Sprintf("core: record %v has no tag <%s>", r, name))
+	}
+	return v
+}
+
+// DeleteField removes a field if present.
+func (r *Record) DeleteField(name string) { delete(r.fields, name) }
+
+// DeleteTag removes a tag if present.
+func (r *Record) DeleteTag(name string) { delete(r.tags, name) }
+
+// HasLabel reports whether the record carries the given label.
+func (r *Record) HasLabel(l Label) bool {
+	if l.IsTag {
+		_, ok := r.tags[l.Name]
+		return ok
+	}
+	_, ok := r.fields[l.Name]
+	return ok
+}
+
+// FieldNames returns the sorted field labels.
+func (r *Record) FieldNames() []string {
+	out := make([]string, 0, len(r.fields))
+	for k := range r.fields {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TagNames returns the sorted tag labels.
+func (r *Record) TagNames() []string {
+	out := make([]string, 0, len(r.tags))
+	for k := range r.tags {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumLabels returns the total number of labels.
+func (r *Record) NumLabels() int { return len(r.fields) + len(r.tags) }
+
+// Labels returns the record's type: the set of all its labels.
+func (r *Record) Labels() Variant {
+	v := make(Variant, r.NumLabels())
+	for k := range r.fields {
+		v[Label{Name: k}] = struct{}{}
+	}
+	for k := range r.tags {
+		v[Label{Name: k, IsTag: true}] = struct{}{}
+	}
+	return v
+}
+
+// Copy returns a shallow copy: field values are shared (they are opaque to
+// S-Net and treated as immutable by convention), label maps are fresh.
+func (r *Record) Copy() *Record {
+	c := &Record{
+		fields: make(map[string]any, len(r.fields)),
+		tags:   make(map[string]int, len(r.tags)),
+	}
+	for k, v := range r.fields {
+		c.fields[k] = v
+	}
+	for k, v := range r.tags {
+		c.tags[k] = v
+	}
+	return c
+}
+
+// String renders the record as {field=value, ..., <tag>=n, ...} with sorted
+// labels; large field values are elided to their type.
+func (r *Record) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, k := range r.FieldNames() {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		v := r.fields[k]
+		switch v := v.(type) {
+		case int, int64, float64, bool, string:
+			fmt.Fprintf(&b, "%s=%v", k, v)
+		default:
+			fmt.Fprintf(&b, "%s=(%T)", k, v)
+		}
+	}
+	for _, k := range r.TagNames() {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "<%s>=%d", k, r.tags[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// tagEnv adapts a record's tags for tag-expression evaluation.
+func (r *Record) tagEnv() map[string]int { return r.tags }

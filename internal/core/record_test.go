@@ -1,0 +1,145 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordBasics(t *testing.T) {
+	r := NewRecord().SetField("board", []int{1, 2}).SetTag("k", 3)
+	if v, ok := r.Field("board"); !ok || v == nil {
+		t.Fatal("field lookup failed")
+	}
+	if v, ok := r.Tag("k"); !ok || v != 3 {
+		t.Fatal("tag lookup failed")
+	}
+	if _, ok := r.Field("missing"); ok {
+		t.Fatal("phantom field")
+	}
+	if _, ok := r.Tag("missing"); ok {
+		t.Fatal("phantom tag")
+	}
+	if r.NumLabels() != 2 {
+		t.Fatalf("NumLabels = %d", r.NumLabels())
+	}
+	if !r.HasLabel(Field("board")) || !r.HasLabel(Tag("k")) || r.HasLabel(Tag("board")) {
+		t.Fatal("HasLabel confused fields and tags")
+	}
+}
+
+func TestRecordMustAccessors(t *testing.T) {
+	r := NewRecord().SetField("a", 1).SetTag("t", 2)
+	if r.MustField("a") != 1 || r.MustTag("t") != 2 {
+		t.Fatal("Must accessors broken")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("MustField on absent label must panic")
+			}
+		}()
+		r.MustField("zzz")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("MustTag on absent label must panic")
+			}
+		}()
+		r.MustTag("zzz")
+	}()
+}
+
+func TestRecordDelete(t *testing.T) {
+	r := NewRecord().SetField("a", 1).SetTag("t", 2)
+	r.DeleteField("a")
+	r.DeleteTag("t")
+	if r.NumLabels() != 0 {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestRecordCopyIsIndependent(t *testing.T) {
+	r := NewRecord().SetField("a", 1).SetTag("t", 2)
+	c := r.Copy()
+	c.SetField("b", 3)
+	c.SetTag("u", 4)
+	if r.NumLabels() != 2 {
+		t.Fatal("copy shares label maps")
+	}
+	if !c.Labels().SubtypeOf(r.Labels()) {
+		t.Fatal("copy lost labels")
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := NewRecord().SetField("b", 1).SetField("a", "x").SetTag("k", 7)
+	s := r.String()
+	if s != "{a=x, b=1, <k>=7}" {
+		t.Fatalf("String = %q", s)
+	}
+	big := NewRecord().SetField("data", []int{1, 2, 3})
+	if !strings.Contains(big.String(), "(") {
+		t.Fatalf("non-scalar field should render as type: %q", big.String())
+	}
+}
+
+func TestRecordLabels(t *testing.T) {
+	r := NewRecord().SetField("a", 1).SetTag("t", 0)
+	v := r.Labels()
+	want := NewVariant(Field("a"), Tag("t"))
+	if !v.Equal(want) {
+		t.Fatalf("Labels = %v", v)
+	}
+}
+
+func TestFieldAndTagNamesSorted(t *testing.T) {
+	r := NewRecord().SetField("z", 0).SetField("a", 0).SetTag("m", 0).SetTag("b", 0)
+	f := r.FieldNames()
+	g := r.TagNames()
+	if f[0] != "a" || f[1] != "z" || g[0] != "b" || g[1] != "m" {
+		t.Fatalf("names unsorted: %v %v", f, g)
+	}
+}
+
+// Property: Copy round-trips all labels and values.
+func TestQuickRecordCopyRoundTrip(t *testing.T) {
+	f := func(fields map[string]int, tags map[string]int) bool {
+		r := NewRecord()
+		for k, v := range fields {
+			if k == "" {
+				continue
+			}
+			r.SetField(k, v)
+		}
+		for k, v := range tags {
+			if k == "" {
+				continue
+			}
+			r.SetTag(k, v)
+		}
+		c := r.Copy()
+		if !c.Labels().Equal(r.Labels()) {
+			return false
+		}
+		for _, k := range r.FieldNames() {
+			a, _ := r.Field(k)
+			b, _ := c.Field(k)
+			if a != b {
+				return false
+			}
+		}
+		for _, k := range r.TagNames() {
+			a, _ := r.Tag(k)
+			b, _ := c.Tag(k)
+			if a != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

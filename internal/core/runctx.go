@@ -1,0 +1,180 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats collects named counters and high-water marks from a running network.
+// Keys are structured as "<nodekind>.<nodename>.<metric>", e.g.
+// "box.solveOneLevel.calls", "star.solve_loop.replicas",
+// "split.width.replicas".  Stats are safe for concurrent use.
+type Stats struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	maxima   map[string]int64
+}
+
+func newStats() *Stats {
+	return &Stats{counters: map[string]int64{}, maxima: map[string]int64{}}
+}
+
+// Add increments a counter and returns the new value.
+func (s *Stats) Add(key string, delta int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters[key] += delta
+	return s.counters[key]
+}
+
+// SetMax records v as a high-water mark for key.
+func (s *Stats) SetMax(key string, v int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v > s.maxima[key] {
+		s.maxima[key] = v
+	}
+}
+
+// Counter returns the current value of a counter.
+func (s *Stats) Counter(key string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters[key]
+}
+
+// Max returns the recorded high-water mark for key.
+func (s *Stats) Max(key string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxima[key]
+}
+
+// Snapshot returns all counters (maxima suffixed ".max") as a plain map.
+func (s *Stats) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.counters)+len(s.maxima))
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	for k, v := range s.maxima {
+		out[k+".max"] = v
+	}
+	return out
+}
+
+// Keys returns the sorted counter keys (for deterministic reports).
+func (s *Stats) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.counters))
+	for k := range s.counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SumPrefix sums all counters whose key starts with the given prefix.
+func (s *Stats) SumPrefix(prefix string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for k, v := range s.counters {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			total += v
+		}
+	}
+	return total
+}
+
+// Tracer observes records crossing node boundaries — S-Net's promise that
+// "all streams can be observed individually" (§1).  Dir is "in" or "out".
+// Implementations must be safe for concurrent use and must not retain the
+// record.
+type Tracer interface {
+	Event(node, dir string, rec *Record)
+}
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(node, dir string, rec *Record)
+
+// Event calls f.
+func (f TracerFunc) Event(node, dir string, rec *Record) { f(node, dir, rec) }
+
+// runEnv carries the per-run execution context shared by all nodes of one
+// started network.
+type runEnv struct {
+	ctx      context.Context
+	stats    *Stats
+	tracer   Tracer
+	onError  func(error)
+	buf      int
+	levelSeq atomic.Int64 // deterministic-combinator level ids
+	maxDepth int          // serial replication unfolding cap
+	maxWidth int          // parallel replication width cap
+}
+
+func (e *runEnv) newLevel() int { return int(e.levelSeq.Add(1)) }
+
+func (e *runEnv) error(err error) {
+	e.stats.Add("runtime.errors", 1)
+	if e.onError != nil {
+		e.onError(err)
+	}
+}
+
+func (e *runEnv) trace(node, dir string, rec *Record) {
+	if e.tracer != nil {
+		e.tracer.Event(node, dir, rec)
+	}
+}
+
+// Option configures a network run.
+type Option func(*runEnv)
+
+// WithBuffer sets the stream buffer capacity (default 32).
+func WithBuffer(n int) Option {
+	return func(e *runEnv) {
+		if n >= 0 {
+			e.buf = n
+		}
+	}
+}
+
+// WithTracer installs a stream observer.
+func WithTracer(t Tracer) Option {
+	return func(e *runEnv) { e.tracer = t }
+}
+
+// WithErrorHandler installs a callback invoked for runtime errors (records
+// that cannot be routed, failing tag expressions, panicking boxes).  Errors
+// are additionally counted under "runtime.errors".
+func WithErrorHandler(f func(error)) Option {
+	return func(e *runEnv) { e.onError = f }
+}
+
+// WithMaxStarDepth caps the unfolding depth of serial replication (default
+// 1 << 20); records that would unfold deeper are reported as errors and
+// dropped.
+func WithMaxStarDepth(n int) Option {
+	return func(e *runEnv) {
+		if n > 0 {
+			e.maxDepth = n
+		}
+	}
+}
+
+// WithMaxSplitWidth caps the number of replicas of parallel replication
+// (default 1 << 20); the tag value is folded into the cap by modulo, which
+// mirrors the paper's throttling filter semantics.
+func WithMaxSplitWidth(n int) Option {
+	return func(e *runEnv) {
+		if n > 0 {
+			e.maxWidth = n
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import "sync"
+
+// serialNode is the serial combinator A..B: the output stream of A feeds the
+// input stream of B; the pair operates as a pipeline (§4).
+type serialNode struct {
+	label string
+	a, b  Node
+}
+
+// Serial composes nodes left to right into a pipeline — the paper's (A..B).
+// It accepts any number of stages for convenience; Serial(a) is a.
+func Serial(nodes ...Node) Node {
+	switch len(nodes) {
+	case 0:
+		panic("core: Serial needs at least one node")
+	case 1:
+		return nodes[0]
+	}
+	n := nodes[0]
+	for _, m := range nodes[1:] {
+		n = &serialNode{label: autoName("serial"), a: n, b: m}
+	}
+	return n
+}
+
+func (s *serialNode) name() string   { return s.label }
+func (s *serialNode) String() string { return "(" + s.a.String() + " .. " + s.b.String() + ")" }
+
+func (s *serialNode) sig(c *checker) (RecType, RecType) {
+	aIn, aOut := s.a.sig(c)
+	bIn, bOut := s.b.sig(c)
+	if c != nil {
+		c.checkSerial(s, aOut, bIn)
+	}
+	return aIn, bOut
+}
+
+func (s *serialNode) run(env *runEnv, in <-chan item, out chan<- item) {
+	mid := make(stream, env.buf)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.a.run(env, in, mid)
+	}()
+	s.b.run(env, mid, out)
+	// If b stopped early (cancellation) a may still be blocked sending to
+	// mid; the cancel path in send unblocks it.  Wait so run has no
+	// stragglers once it returns.
+	go drain(env, mid)
+	wg.Wait()
+}

@@ -1,0 +1,136 @@
+package core
+
+import "strings"
+
+// BoxSignature declares a box interface (§4 of the paper):
+//
+//	box foo (a,<b>) -> (c) | (c,d,<e>)
+//
+// The input is an ordered tuple of labels — the order defines the argument
+// order of the box function.  The output is a disjunction of ordered tuples
+// — the order defines the argument order of snet_out for that variant.
+// Dropping the ordering yields the box's type signature
+// ({a,<b>} -> {c} | {c,d,<e>}) used for routing and inference.
+type BoxSignature struct {
+	In  []Label
+	Out [][]Label
+}
+
+// InType returns the (single-variant) input type of the signature.
+func (s *BoxSignature) InType() RecType { return RecType{NewVariant(s.In...)} }
+
+// OutType returns the multivariant output type of the signature.
+func (s *BoxSignature) OutType() RecType {
+	out := make(RecType, len(s.Out))
+	for i, vs := range s.Out {
+		out[i] = NewVariant(vs...)
+	}
+	return out
+}
+
+func labelTuple(ls []Label) string {
+	parts := make([]string, len(ls))
+	for i, l := range ls {
+		parts[i] = l.String()
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+func (s *BoxSignature) String() string {
+	outs := make([]string, len(s.Out))
+	for i, o := range s.Out {
+		outs[i] = labelTuple(o)
+	}
+	return labelTuple(s.In) + " -> " + strings.Join(outs, " | ")
+}
+
+// ParseSignature parses the paper's box signature notation, e.g.
+// "(a,<b>) -> (c) | (c,d,<e>)".
+func ParseSignature(src string) (*BoxSignature, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	in, err := p.parseLabelTuple()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return nil, err
+	}
+	var outs [][]Label
+	for {
+		o, err := p.parseLabelTuple()
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, o)
+		if !p.accept(tokPipe) {
+			break
+		}
+	}
+	if err := p.eof(); err != nil {
+		return nil, err
+	}
+	sig := &BoxSignature{In: in, Out: outs}
+	if err := sig.validate(src); err != nil {
+		return nil, err
+	}
+	return sig, nil
+}
+
+// MustParseSignature is ParseSignature panicking on error.
+func MustParseSignature(src string) *BoxSignature {
+	s, err := ParseSignature(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *BoxSignature) validate(src string) error {
+	dup := func(ls []Label) *Label {
+		seen := Variant{}
+		for _, l := range ls {
+			if seen.Has(l) {
+				return &l
+			}
+			seen[l] = struct{}{}
+		}
+		return nil
+	}
+	if l := dup(s.In); l != nil {
+		return &SyntaxError{Input: src, Msg: "duplicate input label " + l.String()}
+	}
+	for _, o := range s.Out {
+		if l := dup(o); l != nil {
+			return &SyntaxError{Input: src, Msg: "duplicate output label " + l.String()}
+		}
+	}
+	return nil
+}
+
+// parseLabelTuple parses "(a, <b>, c)"; the empty tuple "()" is allowed.
+func (p *parser) parseLabelTuple() ([]Label, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var out []Label
+	if p.accept(tokRParen) {
+		return out, nil
+	}
+	for {
+		l, err := p.parseLabel()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, l)
+		if p.accept(tokComma) {
+			continue
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+}

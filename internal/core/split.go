@@ -1,0 +1,111 @@
+package core
+
+import "fmt"
+
+// splitNode is parallel replication A!!<tag>: an indexed family of replicas
+// of A connected in parallel.  Every incoming record must carry the index
+// tag; its value selects the replica, and any two records with the same tag
+// value are guaranteed to reach the same replica (§4).  Replicas are created
+// on demand.
+type splitNode struct {
+	label   string
+	det     bool
+	operand Node
+	tag     string
+}
+
+// Split builds the nondeterministic parallel replicator, the paper's
+// A !! <tag>: outputs merge as soon as they are produced.
+func Split(operand Node, tag string) Node {
+	return &splitNode{label: autoName("split"), operand: operand, tag: tag}
+}
+
+// SplitDet builds the deterministic parallel replicator A ! <tag>: the
+// merged output preserves the causal order of the inputs.
+func SplitDet(operand Node, tag string) Node {
+	return &splitNode{label: autoName("split"), det: true, operand: operand, tag: tag}
+}
+
+// NamedSplit is Split with an explicit stats label, so experiments can read
+// "split.<name>.replicas" (used to verify the paper's ≤9-replica bound and
+// the %4 throttling of Fig. 3).
+func NamedSplit(name string, operand Node, tag string) Node {
+	return &splitNode{label: name, operand: operand, tag: tag}
+}
+
+// NamedSplitDet is SplitDet with an explicit stats label.
+func NamedSplitDet(name string, operand Node, tag string) Node {
+	return &splitNode{label: name, det: true, operand: operand, tag: tag}
+}
+
+func (n *splitNode) name() string { return n.label }
+
+func (n *splitNode) String() string {
+	op := " !! "
+	if n.det {
+		op = " ! "
+	}
+	return "(" + n.operand.String() + op + "<" + n.tag + ">)"
+}
+
+func (n *splitNode) sig(c *checker) (RecType, RecType) {
+	opIn, opOut := n.operand.sig(c)
+	in := make(RecType, len(opIn))
+	for i, v := range opIn {
+		in[i] = v.Union(NewVariant(Tag(n.tag)))
+	}
+	if len(in) == 0 {
+		in = RecType{NewVariant(Tag(n.tag))}
+	}
+	return in, opOut
+}
+
+func (n *splitNode) run(env *runEnv, in <-chan item, out chan<- item) {
+	defer close(out)
+	f := newFanout(env, n.det)
+	ports := map[int]*branchPort{}
+	mergeDone := make(chan struct{})
+	go func() {
+		f.mergeLoop(out, f.level)
+		close(mergeDone)
+	}()
+	for {
+		it, ok := recv(env, in)
+		if !ok {
+			break
+		}
+		if it.mk != nil {
+			if !f.forwardMarker(it.mk) {
+				break
+			}
+			continue
+		}
+		rec := it.rec
+		v, ok := rec.Tag(n.tag)
+		if !ok {
+			env.error(fmt.Errorf("core: split %s: record %s lacks index tag <%s>",
+				n.label, rec, n.tag))
+			env.stats.Add("split."+n.label+".untagged", 1)
+			continue
+		}
+		// Fold the tag value into the replica-width cap; records with
+		// equal tag values still share a replica.
+		key := v % env.maxWidth
+		if key < 0 {
+			key += env.maxWidth
+		}
+		port := ports[key]
+		if port == nil {
+			env.stats.Add("split."+n.label+".replicas", 1)
+			env.stats.SetMax("split."+n.label+".width", int64(len(ports)+1))
+			port = f.addBranch(n.operand)
+			ports[key] = port
+		}
+		if !f.route(port, rec) || !f.afterRoute() {
+			break
+		}
+	}
+	go drain(env, in)
+	f.finish()
+	<-mergeDone
+}

@@ -1,0 +1,115 @@
+package core
+
+import "fmt"
+
+// starNode is serial replication A**(pattern): a demand-driven, conceptually
+// infinite chain A..A..A.. tapped before every replica; records matching the
+// exit pattern leave the chain and merge into the output stream (§4).
+//
+// Each starNode instance is one tap point (stage dispatcher).  The chain
+// unfolds lazily: the first record that does not exit instantiates the next
+// replica as serial(operand, star-at-depth+1).
+type starNode struct {
+	label   string
+	det     bool
+	operand Node
+	exit    Pattern
+	depth   int // stage index; the entry dispatcher is depth 0
+}
+
+// Star builds the nondeterministic serial replicator, the paper's
+// A ** (pattern): exits merge as soon as they are produced.
+func Star(operand Node, exit Pattern) Node {
+	return &starNode{label: autoName("star"), operand: operand, exit: exit}
+}
+
+// StarDet builds the deterministic serial replicator A * (pattern): the
+// merged exit stream preserves the causal order of the inputs.
+func StarDet(operand Node, exit Pattern) Node {
+	return &starNode{label: autoName("star"), det: true, operand: operand, exit: exit}
+}
+
+// NamedStar is Star with an explicit stats label, so experiments can read
+// "star.<name>.replicas" counters (used to verify the paper's unfolding
+// bounds: ≤ 81 stages for a 9×9 sudoku, Fig. 1).
+func NamedStar(name string, operand Node, exit Pattern) Node {
+	return &starNode{label: name, operand: operand, exit: exit}
+}
+
+// NamedStarDet is StarDet with an explicit stats label.
+func NamedStarDet(name string, operand Node, exit Pattern) Node {
+	return &starNode{label: name, det: true, operand: operand, exit: exit}
+}
+
+func (n *starNode) name() string { return n.label }
+
+func (n *starNode) String() string {
+	op := " ** "
+	if n.det {
+		op = " * "
+	}
+	return "(" + n.operand.String() + op + n.exit.String() + ")"
+}
+
+func (n *starNode) sig(c *checker) (RecType, RecType) {
+	opIn, opOut := n.operand.sig(c)
+	if c != nil {
+		c.checkStar(n, opOut)
+	}
+	in := opIn.Union(RecType{n.exit.Variant})
+	// Records leave when they match the exit pattern; their type is at
+	// least the pattern's variant.
+	out := RecType{n.exit.Variant}
+	return in, out
+}
+
+func (n *starNode) run(env *runEnv, in <-chan item, out chan<- item) {
+	defer close(out)
+	f := newFanout(env, n.det)
+	exitPort := f.addBranch(nil) // branch 0: records leaving the chain here
+	var chainPort *branchPort    // branch 1: operand .. star(depth+1), lazy
+	mergeDone := make(chan struct{})
+	go func() {
+		f.mergeLoop(out, f.level)
+		close(mergeDone)
+	}()
+	for {
+		it, ok := recv(env, in)
+		if !ok {
+			break
+		}
+		if it.mk != nil {
+			if !f.forwardMarker(it.mk) {
+				break
+			}
+			continue
+		}
+		rec := it.rec
+		if n.exit.Matches(rec) {
+			env.trace(n.label, "exit", rec)
+			if !f.route(exitPort, rec) || !f.afterRoute() {
+				break
+			}
+			continue
+		}
+		if chainPort == nil {
+			if n.depth >= env.maxDepth {
+				env.error(fmt.Errorf("core: star %s: unfolding beyond depth %d; dropping %s",
+					n.label, env.maxDepth, rec))
+				env.stats.Add("star."+n.label+".overflow", 1)
+				continue
+			}
+			env.stats.Add("star."+n.label+".replicas", 1)
+			env.stats.SetMax("star."+n.label+".depth", int64(n.depth+1))
+			next := &starNode{label: n.label, det: n.det, operand: n.operand,
+				exit: n.exit, depth: n.depth + 1}
+			chainPort = f.addBranch(&serialNode{label: autoName("serial"), a: n.operand, b: next})
+		}
+		if !f.route(chainPort, rec) || !f.afterRoute() {
+			break
+		}
+	}
+	go drain(env, in)
+	f.finish()
+	<-mergeDone
+}

@@ -1,0 +1,77 @@
+package core
+
+import "context"
+
+// item is one element on a stream: either a data record or a control marker
+// ("sort record") of the deterministic-merge protocol.  Exactly one of rec
+// and mk is non-nil.
+type item struct {
+	rec *Record
+	mk  *marker
+}
+
+// marker is a sort record: deterministic combinators emit one after every
+// routed data record, broadcast to all live branches.  Mergers use the
+// per-branch arrival order of markers to reassemble the deterministic output
+// order (see merge.go).  level identifies the issuing combinator instance:
+// a merger drops its own markers after use and forwards foreign ones.
+type marker struct {
+	level  int
+	ticket uint64
+}
+
+// stream is the channel type connecting nodes.
+type stream chan item
+
+// send delivers an item respecting cancellation; it reports false when the
+// environment is cancelled.
+func send(env *runEnv, out chan<- item, it item) bool {
+	select {
+	case out <- it:
+		return true
+	case <-env.ctx.Done():
+		return false
+	}
+}
+
+// sendRecord is send for data records.
+func sendRecord(env *runEnv, out chan<- item, r *Record) bool {
+	return send(env, out, item{rec: r})
+}
+
+// recv receives the next item respecting cancellation; ok is false when the
+// stream is closed or the run cancelled.
+func recv(env *runEnv, in <-chan item) (item, bool) {
+	select {
+	case it, ok := <-in:
+		return it, ok
+	case <-env.ctx.Done():
+		return item{}, false
+	}
+}
+
+// drain consumes and discards the remainder of a stream so upstream senders
+// unblock after a node stops early.  It returns on cancellation: all senders
+// are themselves cancellation-aware, so nobody stays blocked.
+func drain(env *runEnv, in <-chan item) {
+	for {
+		select {
+		case _, ok := <-in:
+			if !ok {
+				return
+			}
+		case <-env.ctx.Done():
+			return
+		}
+	}
+}
+
+// ctxDone reports whether the run has been cancelled.
+func ctxDone(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}

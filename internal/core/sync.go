@@ -1,0 +1,109 @@
+package core
+
+import "strings"
+
+// syncNode is an S-Net synchrocell [| {p1}, {p2}, ... |] — part of the
+// S-Net language (Grelck/Scholz/Shafarenko, IFL'06) though not exercised by
+// the paper's sudoku networks; provided as the language's join primitive.
+//
+// A synchrocell waits until it has seen one record matching each of its
+// patterns, keeping the first match per pattern; it then emits the merger of
+// the stored records (labels of earlier patterns take precedence) and
+// becomes a transparent identity for the rest of its lifetime.  Records that
+// match no unfilled pattern pass through unchanged.
+type syncNode struct {
+	label    string
+	patterns []Pattern
+}
+
+// Sync builds a synchrocell over the given patterns (at least two).
+func Sync(patterns ...Pattern) Node {
+	if len(patterns) < 2 {
+		panic("core: Sync needs at least two patterns")
+	}
+	return &syncNode{label: autoName("sync"), patterns: patterns}
+}
+
+func (n *syncNode) name() string { return n.label }
+
+func (n *syncNode) String() string {
+	parts := make([]string, len(n.patterns))
+	for i, p := range n.patterns {
+		parts[i] = p.String()
+	}
+	return "[| " + strings.Join(parts, ", ") + " |]"
+}
+
+func (n *syncNode) sig(*checker) (RecType, RecType) {
+	in := make(RecType, len(n.patterns))
+	merged := Variant{}
+	for i, p := range n.patterns {
+		in[i] = p.Variant
+		merged = merged.Union(p.Variant)
+	}
+	return in, RecType{merged}
+}
+
+func (n *syncNode) run(env *runEnv, in <-chan item, out chan<- item) {
+	defer close(out)
+	storage := make([]*Record, len(n.patterns))
+	fired := false
+	forward := func(it item) bool { return send(env, out, it) }
+	for {
+		it, ok := recv(env, in)
+		if !ok {
+			break
+		}
+		if it.mk != nil || fired {
+			if !forward(it) {
+				return
+			}
+			continue
+		}
+		rec := it.rec
+		env.trace(n.label, "in", rec)
+		stored := false
+		for i, p := range n.patterns {
+			if storage[i] == nil && p.Matches(rec) {
+				storage[i] = rec
+				stored = true
+				break
+			}
+		}
+		if !stored {
+			if !forward(it) {
+				return
+			}
+			continue
+		}
+		complete := true
+		for _, s := range storage {
+			if s == nil {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			continue
+		}
+		// Merge: earlier patterns take precedence on label clashes.
+		merged := storage[0].Copy()
+		for _, s := range storage[1:] {
+			inheritInto(merged, s, merged.Labels())
+		}
+		env.trace(n.label, "out", merged)
+		env.stats.Add("sync."+n.label+".fired", 1)
+		fired = true
+		storage = nil
+		if !sendRecord(env, out, merged) {
+			return
+		}
+	}
+	// Unfired storage at stream end is discarded; count it so tests and
+	// users can detect starved synchrocells.
+	for _, s := range storage {
+		if s != nil {
+			env.stats.Add("sync."+n.label+".starved", 1)
+		}
+	}
+}

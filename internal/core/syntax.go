@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// The micro-syntax lexer shared by the textual forms of the coordination
+// layer: box signatures "(a,<b>) -> (c) | (c,d,<e>)", patterns
+// "{board, <done>}", guarded patterns "{<level>} | <level> > 40", filters
+// "[{a,b,<c>} -> {a,z=a,<t>}; {b,a=b,<c>=<c>+1}]" and tag expressions
+// "<k>%4+1".
+//
+// The only subtlety is '<': a '<' immediately followed by an identifier and
+// '>' lexes as one tagName token, so "<c>=<c>+1" tokenises as
+// tag(c) '=' tag(c) '+' 1 rather than tripping over ">=".
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokTagName // <ident>
+	tokLBrace  // {
+	tokRBrace  // }
+	tokLParen  // (
+	tokRParen  // )
+	tokLBrack  // [
+	tokRBrack  // ]
+	tokComma
+	tokSemi
+	tokAssign // =
+	tokArrow  // ->
+	tokPipe   // |
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokPercent
+	tokEq  // ==
+	tokNeq // !=
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+	tokAndAnd
+	tokOrOr
+	tokNot
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokInt:
+		return "integer"
+	case tokTagName:
+		return "tag"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBrack:
+		return "'['"
+	case tokRBrack:
+		return "']'"
+	case tokComma:
+		return "','"
+	case tokSemi:
+		return "';'"
+	case tokAssign:
+		return "'='"
+	case tokArrow:
+		return "'->'"
+	case tokPipe:
+		return "'|'"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	case tokPercent:
+		return "'%'"
+	case tokEq:
+		return "'=='"
+	case tokNeq:
+		return "'!='"
+	case tokLt:
+		return "'<'"
+	case tokLe:
+		return "'<='"
+	case tokGt:
+		return "'>'"
+	case tokGe:
+		return "'>='"
+	case tokAndAnd:
+		return "'&&'"
+	case tokOrOr:
+		return "'||'"
+	case tokNot:
+		return "'!'"
+	}
+	return "?"
+}
+
+type token struct {
+	kind tokKind
+	text string // ident / tag name / integer literal
+	pos  int
+}
+
+// SyntaxError reports a parse failure in one of the textual micro-forms.
+type SyntaxError struct {
+	Input string
+	Pos   int
+	Msg   string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("core: syntax error at %d in %q: %s", e.Pos, e.Input, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return &SyntaxError{Input: l.src, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func isIdentStart(r byte) bool {
+	return r == '_' || unicode.IsLetter(rune(r))
+}
+
+func isIdentPart(r byte) bool {
+	return r == '_' || unicode.IsLetter(rune(r)) || unicode.IsDigit(rune(r))
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && (l.src[l.pos] == ' ' || l.src[l.pos] == '\t' || l.src[l.pos] == '\n' || l.src[l.pos] == '\r') {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	case c >= '0' && c <= '9':
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+		return token{kind: tokInt, text: l.src[start:l.pos], pos: start}, nil
+	}
+	one := func(k tokKind) (token, error) {
+		l.pos++
+		return token{kind: k, pos: start}, nil
+	}
+	switch c {
+	case '{':
+		return one(tokLBrace)
+	case '}':
+		return one(tokRBrace)
+	case '(':
+		return one(tokLParen)
+	case ')':
+		return one(tokRParen)
+	case '[':
+		return one(tokLBrack)
+	case ']':
+		return one(tokRBrack)
+	case ',':
+		return one(tokComma)
+	case ';':
+		return one(tokSemi)
+	case '+':
+		return one(tokPlus)
+	case '*':
+		return one(tokStar)
+	case '/':
+		return one(tokSlash)
+	case '%':
+		return one(tokPercent)
+	case '-':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '>' {
+			l.pos += 2
+			return token{kind: tokArrow, pos: start}, nil
+		}
+		return one(tokMinus)
+	case '=':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokEq, pos: start}, nil
+		}
+		return one(tokAssign)
+	case '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokNeq, pos: start}, nil
+		}
+		return one(tokNot)
+	case '&':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '&' {
+			l.pos += 2
+			return token{kind: tokAndAnd, pos: start}, nil
+		}
+		return token{}, l.errf(start, "unexpected '&'")
+	case '|':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '|' {
+			l.pos += 2
+			return token{kind: tokOrOr, pos: start}, nil
+		}
+		return one(tokPipe)
+	case '>':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokGe, pos: start}, nil
+		}
+		return one(tokGt)
+	case '<':
+		// Try the atomic tag form <ident>.
+		p := l.pos + 1
+		if p < len(l.src) && isIdentStart(l.src[p]) {
+			q := p
+			for q < len(l.src) && isIdentPart(l.src[q]) {
+				q++
+			}
+			if q < len(l.src) && l.src[q] == '>' {
+				l.pos = q + 1
+				return token{kind: tokTagName, text: l.src[p:q], pos: start}, nil
+			}
+		}
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokLe, pos: start}, nil
+		}
+		return one(tokLt)
+	}
+	return token{}, l.errf(start, "unexpected character %q", string(c))
+}
+
+// parser is a token cursor shared by the micro-form parsers.
+type parser struct {
+	src  string
+	toks []token
+	i    int
+}
+
+func newParser(src string) (*parser, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{src: src, toks: toks}, nil
+}
+
+func (p *parser) peek() token       { return p.toks[p.i] }
+func (p *parser) take() token       { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) at(k tokKind) bool { return p.toks[p.i].kind == k }
+
+func (p *parser) accept(k tokKind) bool {
+	if p.at(k) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	if !p.at(k) {
+		return token{}, p.errf("expected %v, found %v", k, p.peek().kind)
+	}
+	return p.take(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Input: p.src, Pos: p.peek().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) eof() error {
+	if !p.at(tokEOF) {
+		return p.errf("trailing input")
+	}
+	return nil
+}
+
+func atoi(t token) int {
+	n, _ := strconv.Atoi(t.text)
+	return n
+}

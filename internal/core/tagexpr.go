@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TagExpr is an integer expression over tag values, used on the right-hand
+// side of filter tag assignments ("<k>=<k>%4") and in pattern guards
+// ("{<level>} | <level> > 40").  The expression language is C-flavoured:
+// integers, tag references <name>, unary - and !, binary + - * / %, the
+// comparisons == != < <= > >=, and && / ||.  Booleans are represented as 0/1
+// integers, matching the paper's treatment of tags as plain integers.
+type TagExpr interface {
+	// Eval computes the expression over the given tag environment.
+	Eval(tags map[string]int) (int, error)
+	// TagRefs appends the tag names referenced by the expression.
+	TagRefs(dst []string) []string
+	String() string
+}
+
+// EvalError reports a failed tag-expression evaluation.
+type EvalError struct {
+	Expr string
+	Msg  string
+}
+
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("core: cannot evaluate %q: %s", e.Expr, e.Msg)
+}
+
+type intLit int
+
+func (e intLit) Eval(map[string]int) (int, error) { return int(e), nil }
+func (e intLit) TagRefs(dst []string) []string    { return dst }
+func (e intLit) String() string                   { return strconv.Itoa(int(e)) }
+
+type tagRef string
+
+func (e tagRef) Eval(tags map[string]int) (int, error) {
+	v, ok := tags[string(e)]
+	if !ok {
+		return 0, &EvalError{Expr: e.String(), Msg: "tag not present in record"}
+	}
+	return v, nil
+}
+func (e tagRef) TagRefs(dst []string) []string { return append(dst, string(e)) }
+func (e tagRef) String() string                { return "<" + string(e) + ">" }
+
+type unaryExpr struct {
+	op byte // '-' or '!'
+	x  TagExpr
+}
+
+func (e *unaryExpr) Eval(tags map[string]int) (int, error) {
+	v, err := e.x.Eval(tags)
+	if err != nil {
+		return 0, err
+	}
+	if e.op == '-' {
+		return -v, nil
+	}
+	if v == 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+func (e *unaryExpr) TagRefs(dst []string) []string { return e.x.TagRefs(dst) }
+func (e *unaryExpr) String() string                { return string(e.op) + e.x.String() }
+
+type binExpr struct {
+	op   string
+	x, y TagExpr
+}
+
+func (e *binExpr) Eval(tags map[string]int) (int, error) {
+	a, err := e.x.Eval(tags)
+	if err != nil {
+		return 0, err
+	}
+	// Short-circuit the logical operators.
+	switch e.op {
+	case "&&":
+		if a == 0 {
+			return 0, nil
+		}
+		b, err := e.y.Eval(tags)
+		if err != nil {
+			return 0, err
+		}
+		return btoi(b != 0), nil
+	case "||":
+		if a != 0 {
+			return 1, nil
+		}
+		b, err := e.y.Eval(tags)
+		if err != nil {
+			return 0, err
+		}
+		return btoi(b != 0), nil
+	}
+	b, err := e.y.Eval(tags)
+	if err != nil {
+		return 0, err
+	}
+	switch e.op {
+	case "+":
+		return a + b, nil
+	case "-":
+		return a - b, nil
+	case "*":
+		return a * b, nil
+	case "/":
+		if b == 0 {
+			return 0, &EvalError{Expr: e.String(), Msg: "division by zero"}
+		}
+		return a / b, nil
+	case "%":
+		if b == 0 {
+			return 0, &EvalError{Expr: e.String(), Msg: "modulo by zero"}
+		}
+		return a % b, nil
+	case "==":
+		return btoi(a == b), nil
+	case "!=":
+		return btoi(a != b), nil
+	case "<":
+		return btoi(a < b), nil
+	case "<=":
+		return btoi(a <= b), nil
+	case ">":
+		return btoi(a > b), nil
+	case ">=":
+		return btoi(a >= b), nil
+	}
+	return 0, &EvalError{Expr: e.String(), Msg: "unknown operator " + e.op}
+}
+
+func (e *binExpr) TagRefs(dst []string) []string {
+	return e.y.TagRefs(e.x.TagRefs(dst))
+}
+
+func (e *binExpr) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	b.WriteString(e.x.String())
+	b.WriteByte(' ')
+	b.WriteString(e.op)
+	b.WriteByte(' ')
+	b.WriteString(e.y.String())
+	b.WriteByte(')')
+	return b.String()
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TagLit returns a constant tag expression.
+func TagLit(n int) TagExpr { return intLit(n) }
+
+// TagVar returns a reference to the tag with the given name.
+func TagVar(name string) TagExpr { return tagRef(name) }
+
+// TagUnary returns a unary expression; op is '-' or '!'.
+func TagUnary(op byte, x TagExpr) TagExpr { return &unaryExpr{op: op, x: x} }
+
+// TagBinary returns a binary expression over one of the operators
+// + - * / % == != < <= > >= && ||.
+func TagBinary(op string, x, y TagExpr) TagExpr { return &binExpr{op: op, x: x, y: y} }
+
+// ParseTagExpr parses a tag expression from its textual form.
+func ParseTagExpr(src string) (TagExpr, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	e, err := p.parseTagExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.eof(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// MustParseTagExpr is ParseTagExpr panicking on error, for literals in code.
+func MustParseTagExpr(src string) TagExpr {
+	e, err := ParseTagExpr(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Precedence climbing: || < && < comparisons < additive < multiplicative <
+// unary < primary.
+
+func (p *parser) parseTagExpr() (TagExpr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (TagExpr, error) {
+	x, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokOrOr) {
+		y, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		x = &binExpr{op: "||", x: x, y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseAnd() (TagExpr, error) {
+	x, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokAndAnd) {
+		y, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		x = &binExpr{op: "&&", x: x, y: y}
+	}
+	return x, nil
+}
+
+var cmpOps = map[tokKind]string{
+	tokEq: "==", tokNeq: "!=", tokLt: "<", tokLe: "<=", tokGt: ">", tokGe: ">=",
+}
+
+func (p *parser) parseCmp() (TagExpr, error) {
+	x, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := cmpOps[p.peek().kind]
+		if !ok {
+			return x, nil
+		}
+		p.take()
+		y, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		x = &binExpr{op: op, x: x, y: y}
+	}
+}
+
+func (p *parser) parseAdd() (TagExpr, error) {
+	x, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.peek().kind {
+		case tokPlus:
+			op = "+"
+		case tokMinus:
+			op = "-"
+		default:
+			return x, nil
+		}
+		p.take()
+		y, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		x = &binExpr{op: op, x: x, y: y}
+	}
+}
+
+func (p *parser) parseMul() (TagExpr, error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.peek().kind {
+		case tokStar:
+			op = "*"
+		case tokSlash:
+			op = "/"
+		case tokPercent:
+			op = "%"
+		default:
+			return x, nil
+		}
+		p.take()
+		y, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		x = &binExpr{op: op, x: x, y: y}
+	}
+}
+
+func (p *parser) parseUnary() (TagExpr, error) {
+	switch p.peek().kind {
+	case tokMinus:
+		p.take()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: '-', x: x}, nil
+	case tokNot:
+		p.take()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: '!', x: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (TagExpr, error) {
+	switch p.peek().kind {
+	case tokInt:
+		return intLit(atoi(p.take())), nil
+	case tokTagName:
+		return tagRef(p.take().text), nil
+	case tokLParen:
+		p.take()
+		x, err := p.parseTagExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, p.errf("expected integer, tag or '(', found %v", p.peek().kind)
+}

@@ -1,0 +1,150 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Program is a parsed S-Net source: box declarations and net definitions.
+type Program struct {
+	Boxes []*BoxDecl
+	Nets  []*NetDecl
+}
+
+// BoxDecl is `box name (in) -> (out) | ... ;`.
+type BoxDecl struct {
+	Name string
+	Sig  *core.BoxSignature
+	Pos  Pos
+}
+
+// NetDecl is `net name [{ body }] connect expr ;`.  Declarations in the body
+// are scoped to the net.
+type NetDecl struct {
+	Name string
+	Body *Program // nil when there is no body
+	Expr Expr
+	Pos  Pos
+}
+
+// Expr is a network expression.
+type Expr interface {
+	fmt.Stringer
+	pos() Pos
+}
+
+// IdentExpr references a declared box or net by name.
+type IdentExpr struct {
+	Name string
+	At   Pos
+}
+
+// SerialExpr is A .. B.
+type SerialExpr struct {
+	A, B Expr
+	At   Pos
+}
+
+// ParExpr is A || B (Det false) or A | B (Det true).
+type ParExpr struct {
+	A, B Expr
+	Det  bool
+	At   Pos
+}
+
+// StarExpr is A ** pattern (Det false) or A * pattern (Det true).
+type StarExpr struct {
+	A    Expr
+	Exit core.Pattern
+	Det  bool
+	At   Pos
+}
+
+// SplitExpr is A !! <tag> (Det false) or A ! <tag> (Det true).
+type SplitExpr struct {
+	A   Expr
+	Tag string
+	Det bool
+	At  Pos
+}
+
+// FilterExpr is [pattern -> rec; rec; ...].
+type FilterExpr struct {
+	Spec *core.FilterSpec
+	At   Pos
+}
+
+// SyncExpr is [| pattern, pattern, ... |].
+type SyncExpr struct {
+	Patterns []core.Pattern
+	At       Pos
+}
+
+func (e *IdentExpr) pos() Pos  { return e.At }
+func (e *SerialExpr) pos() Pos { return e.At }
+func (e *ParExpr) pos() Pos    { return e.At }
+func (e *StarExpr) pos() Pos   { return e.At }
+func (e *SplitExpr) pos() Pos  { return e.At }
+func (e *FilterExpr) pos() Pos { return e.At }
+func (e *SyncExpr) pos() Pos   { return e.At }
+
+func (e *IdentExpr) String() string { return e.Name }
+func (e *SerialExpr) String() string {
+	return "(" + e.A.String() + " .. " + e.B.String() + ")"
+}
+func (e *ParExpr) String() string {
+	op := " || "
+	if e.Det {
+		op = " | "
+	}
+	return "(" + e.A.String() + op + e.B.String() + ")"
+}
+func (e *StarExpr) String() string {
+	op := " ** "
+	if e.Det {
+		op = " * "
+	}
+	s := e.Exit.String()
+	if e.Exit.Guard != nil {
+		s = "(" + s + ")"
+	}
+	return "(" + e.A.String() + op + s + ")"
+}
+func (e *SplitExpr) String() string {
+	op := " !! "
+	if e.Det {
+		op = " ! "
+	}
+	return "(" + e.A.String() + op + "<" + e.Tag + ">)"
+}
+func (e *FilterExpr) String() string { return e.Spec.String() }
+func (e *SyncExpr) String() string {
+	parts := make([]string, len(e.Patterns))
+	for i, p := range e.Patterns {
+		parts[i] = p.String()
+	}
+	return "[| " + strings.Join(parts, ", ") + " |]"
+}
+
+// String renders the program in re-parseable form.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, bd := range p.Boxes {
+		fmt.Fprintf(&b, "box %s %s;\n", bd.Name, bd.Sig)
+	}
+	for _, nd := range p.Nets {
+		fmt.Fprintf(&b, "net %s", nd.Name)
+		if nd.Body != nil {
+			b.WriteString(" {\n")
+			body := nd.Body.String()
+			for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+				b.WriteString("  " + line + "\n")
+			}
+			b.WriteString("}")
+		}
+		fmt.Fprintf(&b, " connect %s;\n", nd.Expr)
+	}
+	return b.String()
+}

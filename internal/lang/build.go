@@ -1,0 +1,174 @@
+package lang
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Registry binds box names to implementations — the role the SaC compiler
+// plays in the paper's two-layer model.  A name may be bound to a plain
+// BoxFunc (used together with the declared signature) or to a pre-built
+// node (which then ignores the declaration's signature at runtime but is
+// still checked against references).
+type Registry struct {
+	funcs map[string]core.BoxFunc
+	nodes map[string]core.Node
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{funcs: map[string]core.BoxFunc{}, nodes: map[string]core.Node{}}
+}
+
+// RegisterFunc binds a box name to a function; the signature comes from the
+// program's box declaration.
+func (r *Registry) RegisterFunc(name string, fn core.BoxFunc) *Registry {
+	r.funcs[name] = fn
+	return r
+}
+
+// RegisterNode binds a name to a pre-built node (a box or a whole subnet).
+func (r *Registry) RegisterNode(name string, n core.Node) *Registry {
+	r.nodes[name] = n
+	return r
+}
+
+// scope is the name environment during building.
+type scope struct {
+	parent *scope
+	names  map[string]core.Node
+}
+
+func (s *scope) lookup(name string) (core.Node, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if n, ok := cur.names[name]; ok {
+			return n, true
+		}
+	}
+	return nil, false
+}
+
+// Build instantiates the named net of the program into a runnable network.
+// Box declarations take their implementations from the registry.  Nets may
+// reference previously declared boxes and nets; a net's body declarations
+// are local to it.
+func Build(prog *Program, netName string, reg *Registry) (core.Node, error) {
+	root := &scope{names: map[string]core.Node{}}
+	if err := populate(prog, root, reg); err != nil {
+		return nil, err
+	}
+	n, ok := root.lookup(netName)
+	if !ok {
+		return nil, fmt.Errorf("snet: no net or box named %q", netName)
+	}
+	return n, nil
+}
+
+// BuildText parses and builds in one step.
+func BuildText(src, netName string, reg *Registry) (core.Node, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Build(prog, netName, reg)
+}
+
+// populate declares the program's boxes and nets into the scope.
+func populate(prog *Program, sc *scope, reg *Registry) error {
+	for _, bd := range prog.Boxes {
+		if _, dup := sc.names[bd.Name]; dup {
+			return &Error{Pos: bd.Pos, Msg: fmt.Sprintf("duplicate declaration %q", bd.Name)}
+		}
+		if n, ok := reg.nodes[bd.Name]; ok {
+			sc.names[bd.Name] = n
+			continue
+		}
+		fn, ok := reg.funcs[bd.Name]
+		if !ok {
+			return &Error{Pos: bd.Pos,
+				Msg: fmt.Sprintf("box %q has no implementation in the registry", bd.Name)}
+		}
+		sc.names[bd.Name] = core.NewBox(bd.Name, bd.Sig, fn)
+	}
+	for _, nd := range prog.Nets {
+		if _, dup := sc.names[nd.Name]; dup {
+			return &Error{Pos: nd.Pos, Msg: fmt.Sprintf("duplicate declaration %q", nd.Name)}
+		}
+		netScope := sc
+		if nd.Body != nil {
+			netScope = &scope{parent: sc, names: map[string]core.Node{}}
+			if err := populate(nd.Body, netScope, reg); err != nil {
+				return err
+			}
+		}
+		node, err := buildExpr(nd.Expr, netScope, nd.Name)
+		if err != nil {
+			return err
+		}
+		sc.names[nd.Name] = node
+	}
+	return nil
+}
+
+// buildExpr lowers an expression to a core network.  netName scopes the
+// stats labels of anonymous combinators so experiment counters are
+// addressable (e.g. "star.fig1.solve_loop...").
+func buildExpr(e Expr, sc *scope, netName string) (core.Node, error) {
+	switch e := e.(type) {
+	case *IdentExpr:
+		n, ok := sc.lookup(e.Name)
+		if !ok {
+			return nil, &Error{Pos: e.At, Msg: fmt.Sprintf("undefined name %q", e.Name)}
+		}
+		return n, nil
+	case *SerialExpr:
+		a, err := buildExpr(e.A, sc, netName)
+		if err != nil {
+			return nil, err
+		}
+		b, err := buildExpr(e.B, sc, netName)
+		if err != nil {
+			return nil, err
+		}
+		return core.Serial(a, b), nil
+	case *ParExpr:
+		a, err := buildExpr(e.A, sc, netName)
+		if err != nil {
+			return nil, err
+		}
+		b, err := buildExpr(e.B, sc, netName)
+		if err != nil {
+			return nil, err
+		}
+		if e.Det {
+			return core.ParallelDet(a, b), nil
+		}
+		return core.Parallel(a, b), nil
+	case *StarExpr:
+		a, err := buildExpr(e.A, sc, netName)
+		if err != nil {
+			return nil, err
+		}
+		name := netName + ".star"
+		if e.Det {
+			return core.NamedStarDet(name, a, e.Exit), nil
+		}
+		return core.NamedStar(name, a, e.Exit), nil
+	case *SplitExpr:
+		a, err := buildExpr(e.A, sc, netName)
+		if err != nil {
+			return nil, err
+		}
+		name := netName + ".split"
+		if e.Det {
+			return core.NamedSplitDet(name, a, e.Tag), nil
+		}
+		return core.NamedSplit(name, a, e.Tag), nil
+	case *FilterExpr:
+		return core.NewFilter(e.Spec), nil
+	case *SyncExpr:
+		return core.Sync(e.Patterns...), nil
+	}
+	return nil, fmt.Errorf("snet: unknown expression %T", e)
+}

@@ -1,0 +1,318 @@
+// Package lang implements the textual S-Net surface language of the paper:
+// box declarations with signatures, net definitions, and network expressions
+// over the eight combinators, filters, guarded patterns and synchrocells.
+//
+//	box computeOpts (board) -> (board, opts);
+//	box solveOneLevel (board, opts) -> (board, opts) | (board, <done>);
+//
+//	net fig1 connect computeOpts .. (solveOneLevel ** {<done>});
+//
+// Parse produces an AST; Build instantiates it into an internal/core network
+// against a registry binding box names to Go implementations (the role the
+// SaC compiler plays in the paper).
+package lang
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// Pos is a source position (1-based).
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a parse or build failure with position information.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("snet: %s: %s", e.Pos, e.Msg) }
+
+type kind int
+
+const (
+	tEOF kind = iota
+	tIdent
+	tInt
+	tTag    // <ident>
+	tLBrace // {
+	tRBrace
+	tLParen
+	tRParen
+	tLBrack // [
+	tRBrack
+	tSyncOpen  // [|
+	tSyncClose // |]
+	tComma
+	tSemi
+	tAssign
+	tArrow // ->
+	tDots  // ..
+	tPipe  // |
+	tPipe2 // ||
+	tStar  // *
+	tStar2 // **
+	tBang  // !
+	tBang2 // !!
+	tPlus
+	tMinus
+	tSlash
+	tPercent
+	tEq
+	tNeq
+	tLt
+	tLe
+	tGt
+	tGe
+	tAnd2
+)
+
+var kindNames = map[kind]string{
+	tEOF: "end of input", tIdent: "identifier", tInt: "integer", tTag: "tag",
+	tLBrace: "'{'", tRBrace: "'}'", tLParen: "'('", tRParen: "')'",
+	tLBrack: "'['", tRBrack: "']'", tSyncOpen: "'[|'", tSyncClose: "'|]'",
+	tComma: "','", tSemi: "';'", tAssign: "'='", tArrow: "'->'",
+	tDots: "'..'", tPipe: "'|'", tPipe2: "'||'", tStar: "'*'", tStar2: "'**'",
+	tBang: "'!'", tBang2: "'!!'", tPlus: "'+'", tMinus: "'-'",
+	tSlash: "'/'", tPercent: "'%'", tEq: "'=='", tNeq: "'!='",
+	tLt: "'<'", tLe: "'<='", tGt: "'>'", tGe: "'>='", tAnd2: "'&&'",
+}
+
+func (k kind) String() string { return kindNames[k] }
+
+type tok struct {
+	kind kind
+	text string
+	pos  Pos
+}
+
+type lexer struct {
+	src  []rune
+	i    int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) errf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekRune() rune {
+	if l.i >= len(l.src) {
+		return 0
+	}
+	return l.src[l.i]
+}
+
+func (l *lexer) at(off int) rune {
+	if l.i+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.i+off]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.i]
+	l.i++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.i < len(l.src) {
+		r := l.peekRune()
+		switch {
+		case r == ' ' || r == '\t' || r == '\n' || r == '\r':
+			l.advance()
+		case r == '/' && l.at(1) == '/':
+			for l.i < len(l.src) && l.peekRune() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.at(1) == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			for {
+				if l.i >= len(l.src) {
+					return l.errf(start, "unterminated block comment")
+				}
+				if l.peekRune() == '*' && l.at(1) == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// lexAll tokenises the whole input.
+func lexAll(src string) ([]tok, error) {
+	l := newLexer(src)
+	var toks []tok
+	for {
+		if err := l.skipSpaceAndComments(); err != nil {
+			return nil, err
+		}
+		pos := l.pos()
+		if l.i >= len(l.src) {
+			toks = append(toks, tok{kind: tEOF, pos: pos})
+			return toks, nil
+		}
+		r := l.peekRune()
+		switch {
+		case isIdentStart(r):
+			start := l.i
+			for l.i < len(l.src) && isIdentPart(l.peekRune()) {
+				l.advance()
+			}
+			toks = append(toks, tok{kind: tIdent, text: string(l.src[start:l.i]), pos: pos})
+			continue
+		case unicode.IsDigit(r):
+			start := l.i
+			for l.i < len(l.src) && unicode.IsDigit(l.peekRune()) {
+				l.advance()
+			}
+			toks = append(toks, tok{kind: tInt, text: string(l.src[start:l.i]), pos: pos})
+			continue
+		}
+		two := func(k kind) {
+			l.advance()
+			l.advance()
+			toks = append(toks, tok{kind: k, pos: pos})
+		}
+		one := func(k kind) {
+			l.advance()
+			toks = append(toks, tok{kind: k, pos: pos})
+		}
+		switch r {
+		case '{':
+			one(tLBrace)
+		case '}':
+			one(tRBrace)
+		case '(':
+			one(tLParen)
+		case ')':
+			one(tRParen)
+		case '[':
+			if l.at(1) == '|' {
+				two(tSyncOpen)
+			} else {
+				one(tLBrack)
+			}
+		case ']':
+			one(tRBrack)
+		case ',':
+			one(tComma)
+		case ';':
+			one(tSemi)
+		case '+':
+			one(tPlus)
+		case '/':
+			one(tSlash)
+		case '%':
+			one(tPercent)
+		case '.':
+			if l.at(1) == '.' {
+				two(tDots)
+			} else {
+				return nil, l.errf(pos, "unexpected '.'")
+			}
+		case '-':
+			if l.at(1) == '>' {
+				two(tArrow)
+			} else {
+				one(tMinus)
+			}
+		case '*':
+			if l.at(1) == '*' {
+				two(tStar2)
+			} else {
+				one(tStar)
+			}
+		case '!':
+			switch l.at(1) {
+			case '!':
+				two(tBang2)
+			case '=':
+				two(tNeq)
+			default:
+				one(tBang)
+			}
+		case '|':
+			switch l.at(1) {
+			case '|':
+				two(tPipe2)
+			case ']':
+				two(tSyncClose)
+			default:
+				one(tPipe)
+			}
+		case '&':
+			if l.at(1) == '&' {
+				two(tAnd2)
+			} else {
+				return nil, l.errf(pos, "unexpected '&'")
+			}
+		case '=':
+			if l.at(1) == '=' {
+				two(tEq)
+			} else {
+				one(tAssign)
+			}
+		case '>':
+			if l.at(1) == '=' {
+				two(tGe)
+			} else {
+				one(tGt)
+			}
+		case '<':
+			// Atomic tag form <ident>.
+			if isIdentStart(l.at(1)) {
+				j := l.i + 1
+				for j < len(l.src) && isIdentPart(l.src[j]) {
+					j++
+				}
+				if j < len(l.src) && l.src[j] == '>' {
+					name := string(l.src[l.i+1 : j])
+					for l.i <= j {
+						l.advance()
+					}
+					toks = append(toks, tok{kind: tTag, text: name, pos: pos})
+					continue
+				}
+			}
+			if l.at(1) == '=' {
+				two(tLe)
+			} else {
+				one(tLt)
+			}
+		default:
+			return nil, l.errf(pos, "unexpected character %q", string(r))
+		}
+	}
+}

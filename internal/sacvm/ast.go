@@ -1,0 +1,196 @@
+package sacvm
+
+// Program is a parsed SaC module: an ordered set of function definitions.
+type Program struct {
+	Funs  map[string]*FunDecl
+	Order []string
+}
+
+// TypeExpr is a parsed type annotation such as int, bool[.,.] or int[*].
+// The interpreter is dynamically checked; annotations are kept for
+// documentation and rank assertions where fully static.
+type TypeExpr struct {
+	Base string // int, bool, double, void
+	// Rank: -1 unknown ([*]), otherwise the declared rank; 0 = scalar.
+	Rank int
+}
+
+// FunDecl is a (possibly multi-value) function definition.
+type FunDecl struct {
+	Name    string
+	Returns []TypeExpr
+	Params  []Param
+	Body    []Stmt
+	At      Pos
+}
+
+// Param is one formal parameter.
+type Param struct {
+	Type TypeExpr
+	Name string
+}
+
+// Stmt is a statement.
+type Stmt interface{ pos() Pos }
+
+// AssignStmt is targets = exprs;  Multi-assignment binds the results of a
+// multi-value call: i,j = findFirst(0, board);
+type AssignStmt struct {
+	Targets []string
+	Exprs   []Expr
+	At      Pos
+}
+
+// IndexAssignStmt is the functional array update board[i,j] = k;
+type IndexAssignStmt struct {
+	Name  string
+	Index []Expr
+	Value Expr
+	At    Pos
+}
+
+// IfStmt is if (cond) { } [else { } | else if ...].
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // nil or a single nested IfStmt for else-if
+	At   Pos
+}
+
+// ForStmt is for (init; cond; post) { }.
+type ForStmt struct {
+	Init Stmt // nil or AssignStmt
+	Cond Expr
+	Post Stmt // nil or AssignStmt
+	Body []Stmt
+	At   Pos
+}
+
+// WhileStmt is while (cond) { }.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	At   Pos
+}
+
+// ReturnStmt is return( e1, e2 ); or return;
+type ReturnStmt struct {
+	Exprs []Expr
+	At    Pos
+}
+
+// ExprStmt is a call used for effect, e.g. snet_out(1, board, opts);
+type ExprStmt struct {
+	X  Expr
+	At Pos
+}
+
+func (s *AssignStmt) pos() Pos      { return s.At }
+func (s *IndexAssignStmt) pos() Pos { return s.At }
+func (s *IfStmt) pos() Pos          { return s.At }
+func (s *ForStmt) pos() Pos         { return s.At }
+func (s *WhileStmt) pos() Pos       { return s.At }
+func (s *ReturnStmt) pos() Pos      { return s.At }
+func (s *ExprStmt) pos() Pos        { return s.At }
+
+// Expr is an expression.
+type Expr interface{ epos() Pos }
+
+type IntLit struct {
+	V  int
+	At Pos
+}
+
+type DoubleLit struct {
+	V  float64
+	At Pos
+}
+
+type BoolLit struct {
+	V  bool
+	At Pos
+}
+
+type VarRef struct {
+	Name string
+	At   Pos
+}
+
+// ArrayLit is [e1, e2, ...]; elements must be scalars or same-shaped arrays
+// (nested literals build higher ranks).
+type ArrayLit struct {
+	Elems []Expr
+	At    Pos
+}
+
+// CallExpr is f(args); also carries user-defined ++ as name "++".
+type CallExpr struct {
+	Name string
+	Args []Expr
+	At   Pos
+}
+
+// IndexExpr is x[e1, e2] or x[iv] with a vector index.
+type IndexExpr struct {
+	X   Expr
+	Idx []Expr
+	At  Pos
+}
+
+type UnaryExpr struct {
+	Op byte // '-' or '!'
+	X  Expr
+	At Pos
+}
+
+type BinExpr struct {
+	Op   string
+	X, Y Expr
+	At   Pos
+}
+
+// GenKind distinguishes the with-loop flavours.
+type GenKind int
+
+const (
+	GenGenarray GenKind = iota
+	GenModarray
+	GenFold
+)
+
+// GenSpec is one generator (lower <= var < upper) : body, with optional
+// inclusive bounds.
+type GenSpec struct {
+	Lower     Expr
+	LowerIncl bool
+	Var       string
+	Upper     Expr
+	UpperIncl bool
+	Body      Expr
+	At        Pos
+}
+
+// WithLoop is the with-loop comprehension:
+//
+//	with { gen; gen; ... } : genarray(shape, default)
+//	with { gen; ... }      : modarray(array)
+//	with { gen; ... }      : fold(op, neutral)
+type WithLoop struct {
+	Gens []GenSpec
+	Kind GenKind
+	A1   Expr   // shape / source array / neutral
+	A2   Expr   // default / nil / nil
+	Op   string // fold operator: + * && || min max
+	At   Pos
+}
+
+func (e *IntLit) epos() Pos    { return e.At }
+func (e *DoubleLit) epos() Pos { return e.At }
+func (e *BoolLit) epos() Pos   { return e.At }
+func (e *VarRef) epos() Pos    { return e.At }
+func (e *ArrayLit) epos() Pos  { return e.At }
+func (e *CallExpr) epos() Pos  { return e.At }
+func (e *IndexExpr) epos() Pos { return e.At }
+func (e *UnaryExpr) epos() Pos { return e.At }
+func (e *BinExpr) epos() Pos   { return e.At }
+func (e *WithLoop) epos() Pos  { return e.At }

@@ -1,0 +1,266 @@
+package sacvm
+
+import (
+	"fmt"
+
+	"repro/internal/array"
+)
+
+// Builtins: the SaC primitives of §2 (dim, shape, sel) plus conversions
+// (toi, tod, tob), scalar min/max, print, and the snet_out interface
+// function of §4.  User definitions shadow builtins.
+func (ctx *evalCtx) evalBuiltin(call *CallExpr, e *env) ([]Value, error) {
+	args := make([]Value, len(call.Args))
+	for i, a := range call.Args {
+		v, err := ctx.eval(a, e)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	one := func(v Value) []Value { return []Value{v} }
+	need := func(n int) error {
+		if len(args) != n {
+			return errf(call.At, "%s expects %d arguments, got %d", call.Name, n, len(args))
+		}
+		return nil
+	}
+	switch call.Name {
+	case "dim":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return one(IntScalar(args[0].Dim())), nil
+	case "shape":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return one(IntVector(args[0].Shape()...)), nil
+	case "sel":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		iv, err := args[0].AsIntVector(call.At)
+		if err != nil {
+			return nil, err
+		}
+		v, err := indexSelect(args[1], iv, call.At)
+		if err != nil {
+			return nil, err
+		}
+		return one(v), nil
+	case "toi":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		switch args[0].Kind {
+		case KindInt:
+			return one(args[0]), nil
+		case KindBool:
+			return one(IntValue(array.Map(ctx.itp.pool, args[0].B, func(b bool) int {
+				if b {
+					return 1
+				}
+				return 0
+			}))), nil
+		default:
+			return one(IntValue(array.Map(ctx.itp.pool, args[0].D, func(d float64) int {
+				return int(d)
+			}))), nil
+		}
+	case "tod":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		switch args[0].Kind {
+		case KindDouble:
+			return one(args[0]), nil
+		case KindInt:
+			return one(DoubleValue(array.Map(ctx.itp.pool, args[0].I, func(i int) float64 {
+				return float64(i)
+			}))), nil
+		default:
+			return nil, errf(call.At, "tod: cannot convert bool")
+		}
+	case "tob":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		switch args[0].Kind {
+		case KindBool:
+			return one(args[0]), nil
+		case KindInt:
+			return one(BoolValue(array.Map(ctx.itp.pool, args[0].I, func(i int) bool {
+				return i != 0
+			}))), nil
+		default:
+			return nil, errf(call.At, "tob: cannot convert double")
+		}
+	case "min", "max":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		v, err := evalBinop(ctx.itp.pool, call.Name, args[0], args[1], call.At)
+		if err != nil {
+			return nil, err
+		}
+		return one(v), nil
+	case "take", "drop", "tile":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		n, err := args[1].AsInt(call.At)
+		if err != nil {
+			return nil, err
+		}
+		v, err := structural1(call, args[0], n)
+		if err != nil {
+			return nil, err
+		}
+		return one(v), nil
+	case "rotate", "reverse":
+		// rotate(axis, n, array) / reverse(axis, array)
+		switch call.Name {
+		case "rotate":
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			axis, err := args[0].AsInt(call.At)
+			if err != nil {
+				return nil, err
+			}
+			n, err := args[1].AsInt(call.At)
+			if err != nil {
+				return nil, err
+			}
+			v, err := applyKindwise(call, args[2], func(a Value) Value {
+				switch a.Kind {
+				case KindInt:
+					return IntValue(array.Rotate(a.I, axis, n))
+				case KindBool:
+					return BoolValue(array.Rotate(a.B, axis, n))
+				default:
+					return DoubleValue(array.Rotate(a.D, axis, n))
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			return one(v), nil
+		default:
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			axis, err := args[0].AsInt(call.At)
+			if err != nil {
+				return nil, err
+			}
+			v, err := applyKindwise(call, args[1], func(a Value) Value {
+				switch a.Kind {
+				case KindInt:
+					return IntValue(array.Reverse(a.I, axis))
+				case KindBool:
+					return BoolValue(array.Reverse(a.B, axis))
+				default:
+					return DoubleValue(array.Reverse(a.D, axis))
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			return one(v), nil
+		}
+	case "transpose":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		v, err := applyKindwise(call, args[0], func(a Value) Value {
+			switch a.Kind {
+			case KindInt:
+				return IntValue(array.Transpose(ctx.itp.pool, a.I))
+			case KindBool:
+				return BoolValue(array.Transpose(ctx.itp.pool, a.B))
+			default:
+				return DoubleValue(array.Transpose(ctx.itp.pool, a.D))
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		return one(v), nil
+	case "print":
+		for _, a := range args {
+			if ctx.itp.out != nil {
+				fmt.Fprintln(ctx.itp.out, a.String())
+			}
+		}
+		return nil, nil
+	case "snet_out":
+		if ctx.emit == nil {
+			return nil, errf(call.At, "snet_out called outside a box context")
+		}
+		if len(args) < 1 {
+			return nil, errf(call.At, "snet_out needs a variant number")
+		}
+		variant, err := args[0].AsInt(call.At)
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.emit(variant, args[1:]); err != nil {
+			return nil, errf(call.At, "snet_out: %s", err)
+		}
+		return nil, nil
+	}
+	return nil, errf(call.At, "undefined function %q", call.Name)
+}
+
+// structural1 dispatches take/drop/tile over the value kinds, converting
+// shape panics into values the caller reports.
+func structural1(call *CallExpr, a Value, n int) (Value, error) {
+	return applyKindwise(call, a, func(a Value) Value {
+		switch call.Name {
+		case "take":
+			switch a.Kind {
+			case KindInt:
+				return IntValue(array.Take(a.I, n))
+			case KindBool:
+				return BoolValue(array.Take(a.B, n))
+			default:
+				return DoubleValue(array.Take(a.D, n))
+			}
+		case "drop":
+			switch a.Kind {
+			case KindInt:
+				return IntValue(array.Drop(a.I, n))
+			case KindBool:
+				return BoolValue(array.Drop(a.B, n))
+			default:
+				return DoubleValue(array.Drop(a.D, n))
+			}
+		default: // tile
+			switch a.Kind {
+			case KindInt:
+				return IntValue(array.Tile(a.I, n))
+			case KindBool:
+				return BoolValue(array.Tile(a.B, n))
+			default:
+				return DoubleValue(array.Tile(a.D, n))
+			}
+		}
+	})
+}
+
+// applyKindwise runs a structural builtin, converting array shape panics
+// into SaC-level errors at the call site.
+func applyKindwise(call *CallExpr, a Value, f func(Value) Value) (out Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if se, ok := r.(*array.ShapeError); ok {
+				err = errf(call.At, "%s: %s", call.Name, se.Error())
+				return
+			}
+			panic(r)
+		}
+	}()
+	return f(a), nil
+}

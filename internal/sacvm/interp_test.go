@@ -1,0 +1,383 @@
+package sacvm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+var tp = sched.New(1)
+var tp2 = sched.NewWithGrain(2, 8)
+
+// run evaluates `main` of a small program and returns its results.
+func run(t *testing.T, src string, args ...Value) []Value {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	itp := New(prog, tp)
+	out, err := itp.Call("main", args, nil)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	return out
+}
+
+func wantInts(t *testing.T, v Value, want ...int) {
+	t.Helper()
+	got, err := v.AsIntVector(Pos{})
+	if err != nil {
+		t.Fatalf("%s: %v", v, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// --- §2 examples, verbatim ---
+
+func TestPaperWithLoop42(t *testing.T) {
+	out := run(t, `
+		int[*] main()
+		{
+			res = with { ([0,0] <= iv < [3,5]) : 42;
+			} : genarray( [3,5], 0);
+			return( res);
+		}`)
+	v := out[0]
+	if v.Dim() != 2 || v.Shape()[0] != 3 || v.Shape()[1] != 5 {
+		t.Fatalf("shape = %v", v.Shape())
+	}
+	for _, x := range v.I.Data() {
+		if x != 42 {
+			t.Fatalf("data = %v", v.I.Data())
+		}
+	}
+}
+
+func TestPaperWithLoopIota(t *testing.T) {
+	out := run(t, `
+		int[*] main()
+		{
+			res = with { ([0] <= iv < [5]) : iv[0];
+			} : genarray( [5], 0);
+			return( res);
+		}`)
+	wantInts(t, out[0], 0, 1, 2, 3, 4)
+}
+
+func TestPaperWithLoopPartial(t *testing.T) {
+	out := run(t, `
+		int[*] main()
+		{
+			res = with { ([1] <= iv < [4]) : 42;
+			} : genarray( [5], 0);
+			return( res);
+		}`)
+	wantInts(t, out[0], 0, 42, 42, 42, 0)
+}
+
+func TestPaperWithLoopOverlap(t *testing.T) {
+	out := run(t, `
+		int[*] main()
+		{
+			res = with { ([1] <= iv < [4]) : 1;
+			             ([3] <= iv < [5]) : 2;
+			} : genarray( [6], 0);
+			return( res);
+		}`)
+	wantInts(t, out[0], 0, 1, 1, 2, 2, 0)
+}
+
+func TestPaperWithLoopModarray(t *testing.T) {
+	out := run(t, `
+		int[*] main()
+		{
+			A = with { ([1] <= iv < [4]) : 1;
+			           ([3] <= iv < [5]) : 2;
+			} : genarray( [6], 0);
+			res = with { ([0] <= iv < [3]) : 3;
+			} : modarray( A);
+			return( res);
+		}`)
+	wantInts(t, out[0], 3, 3, 3, 2, 2, 0)
+}
+
+func TestPaperConcatFunction(t *testing.T) {
+	out := run(t, Prelude+`
+		int[*] main()
+		{
+			a = [1,2,3];
+			b = [4,5];
+			return( a ++ b);
+		}`)
+	wantInts(t, out[0], 1, 2, 3, 4, 5)
+}
+
+// --- language semantics ---
+
+func TestScalarsAreRankZero(t *testing.T) {
+	out := run(t, `
+		int main() {
+			x = 42;
+			return( dim(x));
+		}`)
+	if n, _ := out[0].AsInt(Pos{}); n != 0 {
+		t.Fatalf("dim(scalar) = %d", n)
+	}
+}
+
+func TestShapeAndDim(t *testing.T) {
+	out := run(t, Prelude+`
+		int[*] main() {
+			a = with { ([0,0] <= iv < [3,7]) : 1; } : genarray( [3,7], 0);
+			return( shape(a) ++ [dim(a)]);
+		}`)
+	wantInts(t, out[0], 3, 7, 2)
+}
+
+func TestMultiValueReturnsAndAssignment(t *testing.T) {
+	out := run(t, `
+		int, int swap( int a, int b) { return( b, a); }
+		int main() {
+			x, y = swap( 3, 7);
+			return( x*10 + y);
+		}`)
+	if n, _ := out[0].AsInt(Pos{}); n != 73 {
+		t.Fatalf("got %d", n)
+	}
+}
+
+func TestIndexedAssignIsFunctionalUpdate(t *testing.T) {
+	out := run(t, Prelude+`
+		int[*] main() {
+			a = [1,2,3];
+			b = a;
+			a[1] = 99;
+			return( a ++ b);
+		}`)
+	wantInts(t, out[0], 1, 99, 3, 1, 2, 3)
+}
+
+func TestVectorIndexSelection(t *testing.T) {
+	out := run(t, `
+		int main() {
+			m = with { ([0,0] <= iv < [3,3]) : iv[0]*10 + iv[1]; } : genarray([3,3], 0);
+			i = [1,2];
+			return( m[i] + m[2,1]);
+		}`)
+	if n, _ := out[0].AsInt(Pos{}); n != 12+21 {
+		t.Fatalf("got %d", n)
+	}
+}
+
+func TestPrefixSelectionYieldsSubarray(t *testing.T) {
+	out := run(t, `
+		int[*] main() {
+			m = with { ([0,0] <= iv < [2,3]) : iv[0]*10 + iv[1]; } : genarray([2,3], 0);
+			return( m[1]);
+		}`)
+	wantInts(t, out[0], 10, 11, 12)
+}
+
+func TestForLoopAndWhile(t *testing.T) {
+	out := run(t, `
+		int main() {
+			sum = 0;
+			for( i = 0; i < 10; i++) { sum = sum + i; }
+			n = 0;
+			while (n < 5) { n = n + 1; }
+			return( sum*100 + n);
+		}`)
+	if n, _ := out[0].AsInt(Pos{}); n != 4505 {
+		t.Fatalf("got %d", n)
+	}
+}
+
+func TestIfElseChains(t *testing.T) {
+	out := run(t, `
+		int classify( int x) {
+			r = 0;
+			if (x < 0) { r = -1; }
+			else if (x == 0) { r = 0; }
+			else { r = 1; }
+			return( r);
+		}
+		int main() { return( classify(-5)*100 + classify(0)*10 + classify(9)); }`)
+	if n, _ := out[0].AsInt(Pos{}); n != -99 {
+		t.Fatalf("got %d", n)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	out := run(t, `
+		int fib( int n) {
+			r = n;
+			if (n > 1) { r = fib(n-1) + fib(n-2); }
+			return( r);
+		}
+		int main() { return( fib(15)); }`)
+	if n, _ := out[0].AsInt(Pos{}); n != 610 {
+		t.Fatalf("fib(15) = %d", n)
+	}
+}
+
+func TestFoldLoops(t *testing.T) {
+	out := run(t, `
+		int main() {
+			s = with { ([0] <= iv < [100]) : iv[0]; } : fold( +, 0);
+			return( s);
+		}`)
+	if n, _ := out[0].AsInt(Pos{}); n != 4950 {
+		t.Fatalf("fold sum = %d", n)
+	}
+	out = run(t, `
+		bool main() {
+			all = with { ([0] <= iv < [5]) : iv[0] < 5; } : fold( and, true);
+			any = with { ([0] <= iv < [5]) : iv[0] == 9; } : fold( or, false);
+			return( all && !any);
+		}`)
+	if b, _ := out[0].AsBool(Pos{}); !b {
+		t.Fatal("bool folds broken")
+	}
+}
+
+func TestInclusiveGeneratorBounds(t *testing.T) {
+	out := run(t, `
+		int[*] main() {
+			res = with { ([1] <= iv <= [3]) : 7; } : genarray( [5], 0);
+			return( res);
+		}`)
+	wantInts(t, out[0], 0, 7, 7, 7, 0)
+}
+
+func TestElementwiseArithmeticBroadcast(t *testing.T) {
+	out := run(t, `
+		int[*] main() {
+			a = [1,2,3];
+			return( a * 2 + [10,10,10]);
+		}`)
+	wantInts(t, out[0], 12, 14, 16)
+}
+
+func TestDoublesAndConversions(t *testing.T) {
+	out := run(t, `
+		double main() {
+			x = 1.5;
+			y = tod(2);
+			return( x * y + 1.0);
+		}`)
+	if out[0].Kind != KindDouble || out[0].D.ScalarValue() != 4.0 {
+		t.Fatalf("got %v", out[0])
+	}
+}
+
+func TestBuiltinsToiTobSelMinMax(t *testing.T) {
+	out := run(t, `
+		int main() {
+			a = toi(true) + toi(false);
+			b = toi( tob(7));
+			c = sel( [1], [10,20,30]);
+			return( a*1000 + b*100 + c + min(1,2) + max(1,2));
+		}`)
+	if n, _ := out[0].AsInt(Pos{}); n != 1000+100+20+1+2 {
+		t.Fatalf("got %d", n)
+	}
+}
+
+func TestParallelPoolEquivalence(t *testing.T) {
+	src := `
+		int[*] main() {
+			res = with { ([0,0] <= iv < [20,20]) : iv[0]*iv[1]; } : genarray( [20,20], 0);
+			return( res);
+		}`
+	prog := MustParse(src)
+	a, err := New(prog, tp).Call("main", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(prog, tp2).Call("main", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a[0].Equal(b[0]) {
+		t.Fatal("pool width changed semantics")
+	}
+}
+
+// --- error reporting ---
+
+func TestErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`int main() { return( x); }`, "undefined variable"},
+		{`int main() { return( nofun(1)); }`, "undefined function"},
+		{`int main() { x = 1/0; return( x); }`, "division by zero"},
+		{`int main() { a = [1,2]; return( a[5]); }`, "out of bounds"},
+		{`int main() { a = [1,2] + [1,2,3]; return( 0); }`, "shape mismatch"},
+		{`int f() { x = 1; }  int main() { return( f()); }`, "missing return"},
+		{`int main() { snet_out(1, 2); return( 0); }`, "outside a box"},
+		{`int main() { if (3) { } return( 0); }`, "expected bool"},
+		{`int main() { x, y = 1; return( x); }`, "1 values to 2 targets"},
+	}
+	for _, c := range cases {
+		prog, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("%q: parse error %v", c.src, err)
+		}
+		_, err = New(prog, tp).Call("main", nil, nil)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%q: err = %v, want %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"int main( { }",
+		"int main() { return( 1) }",             // missing semicolon
+		"int main() { x = ; }",                  // missing expr
+		"main() { }",                            // missing type
+		"int main() { with { } : genarray(); }", // bad with
+		"int main() { for(;;) { } }",            // missing cond
+		"int main() { @ }",                      // lex error
+		"int main() { /* }",                     // unterminated comment
+		"int main() { return( with { ([0] <= iv < [3]) : 1; } : blah( x)); }",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("%q: want parse error", src)
+		}
+	}
+}
+
+func TestSnetOutEmission(t *testing.T) {
+	prog := MustParse(`
+		void main( int n) {
+			for( i = 0; i < n; i++) {
+				snet_out( 1, i*i);
+			}
+			return;
+		}`)
+	var got []int
+	_, err := New(prog, tp).Call("main", []Value{IntScalar(4)}, func(variant int, vals []Value) error {
+		if variant != 1 || len(vals) != 1 {
+			t.Fatalf("variant=%d vals=%v", variant, vals)
+		}
+		n, _ := vals[0].AsInt(Pos{})
+		got = append(got, n)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[3] != 9 {
+		t.Fatalf("got %v", got)
+	}
+}

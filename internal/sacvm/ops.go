@@ -1,0 +1,255 @@
+package sacvm
+
+import (
+	"repro/internal/array"
+	"repro/internal/sched"
+)
+
+// Elementwise operator evaluation with scalar broadcast, mirroring SaC's
+// overloaded arithmetic on arrays.
+
+func evalUnary(p *sched.Pool, op byte, x Value, at Pos) (Value, error) {
+	switch op {
+	case '-':
+		switch x.Kind {
+		case KindInt:
+			return IntValue(array.Map(p, x.I, func(v int) int { return -v })), nil
+		case KindDouble:
+			return DoubleValue(array.Map(p, x.D, func(v float64) float64 { return -v })), nil
+		}
+		return Value{}, errf(at, "unary - needs numeric operand, got %s", x.TypeString())
+	case '!':
+		if x.Kind != KindBool {
+			return Value{}, errf(at, "! needs bool operand, got %s", x.TypeString())
+		}
+		return BoolValue(array.Map(p, x.B, func(v bool) bool { return !v })), nil
+	}
+	return Value{}, errf(at, "unknown unary operator %q", string(op))
+}
+
+// broadcast pairs two arrays under SaC's scalar-broadcast rule and applies f
+// elementwise.
+func broadcast[T any, R any](p *sched.Pool, a, b *array.Array[T], f func(T, T) R, at Pos) (*array.Array[R], error) {
+	switch {
+	case sameShape(a.Shape(), b.Shape()):
+		return array.Zip(p, a, b, f), nil
+	case a.Dim() == 0:
+		av := a.ScalarValue()
+		return array.Map(p, b, func(x T) R { return f(av, x) }), nil
+	case b.Dim() == 0:
+		bv := b.ScalarValue()
+		return array.Map(p, a, func(x T) R { return f(x, bv) }), nil
+	}
+	return nil, errf(at, "shape mismatch %v vs %v", a.Shape(), b.Shape())
+}
+
+func evalBinop(p *sched.Pool, op string, x, y Value, at Pos) (Value, error) {
+	// int op double promotes the int scalar (sufficient for the paper's
+	// programs; general promotion is not part of Core SaC).
+	if x.Kind == KindInt && y.Kind == KindDouble && x.IsScalar() {
+		x = DoubleScalar(float64(x.I.ScalarValue()))
+	}
+	if y.Kind == KindInt && x.Kind == KindDouble && y.IsScalar() {
+		y = DoubleScalar(float64(y.I.ScalarValue()))
+	}
+	if x.Kind != y.Kind {
+		return Value{}, errf(at, "operator %s on mixed types %s and %s", op, x.TypeString(), y.TypeString())
+	}
+	switch x.Kind {
+	case KindInt:
+		return intBinop(p, op, x, y, at)
+	case KindDouble:
+		return dblBinop(p, op, x, y, at)
+	case KindBool:
+		return boolBinop(p, op, x, y, at)
+	}
+	return Value{}, errf(at, "operator %s unsupported", op)
+}
+
+func intBinop(p *sched.Pool, op string, x, y Value, at Pos) (Value, error) {
+	arith := map[string]func(int, int) int{
+		"+": func(a, b int) int { return a + b },
+		"-": func(a, b int) int { return a - b },
+		"*": func(a, b int) int { return a * b },
+		"min": func(a, b int) int {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		"max": func(a, b int) int {
+			if a > b {
+				return a
+			}
+			return b
+		},
+	}
+	if f, ok := arith[op]; ok {
+		out, err := broadcast(p, x.I, y.I, f, at)
+		if err != nil {
+			return Value{}, err
+		}
+		return IntValue(out), nil
+	}
+	switch op {
+	case "/", "%":
+		// Guard division inside the closure via a pre-scan is racy to
+		// report; check scalar divisor upfront, else per element.
+		div := func(a, b int) int {
+			if b == 0 {
+				panic(errf(at, "division by zero"))
+			}
+			if op == "/" {
+				return a / b
+			}
+			return a % b
+		}
+		out, err := func() (out *array.Array[int], err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					if e, ok := r.(*Error); ok {
+						err = e
+						return
+					}
+					panic(r)
+				}
+			}()
+			return broadcast(p, x.I, y.I, div, at)
+		}()
+		if err != nil {
+			return Value{}, err
+		}
+		return IntValue(out), nil
+	}
+	cmp := map[string]func(int, int) bool{
+		"==": func(a, b int) bool { return a == b },
+		"!=": func(a, b int) bool { return a != b },
+		"<":  func(a, b int) bool { return a < b },
+		"<=": func(a, b int) bool { return a <= b },
+		">":  func(a, b int) bool { return a > b },
+		">=": func(a, b int) bool { return a >= b },
+	}
+	if f, ok := cmp[op]; ok {
+		out, err := broadcast(p, x.I, y.I, f, at)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolValue(out), nil
+	}
+	return Value{}, errf(at, "operator %s not defined on int", op)
+}
+
+func dblBinop(p *sched.Pool, op string, x, y Value, at Pos) (Value, error) {
+	arith := map[string]func(float64, float64) float64{
+		"+": func(a, b float64) float64 { return a + b },
+		"-": func(a, b float64) float64 { return a - b },
+		"*": func(a, b float64) float64 { return a * b },
+		"/": func(a, b float64) float64 { return a / b },
+		"min": func(a, b float64) float64 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		"max": func(a, b float64) float64 {
+			if a > b {
+				return a
+			}
+			return b
+		},
+	}
+	if f, ok := arith[op]; ok {
+		out, err := broadcast(p, x.D, y.D, f, at)
+		if err != nil {
+			return Value{}, err
+		}
+		return DoubleValue(out), nil
+	}
+	cmp := map[string]func(float64, float64) bool{
+		"==": func(a, b float64) bool { return a == b },
+		"!=": func(a, b float64) bool { return a != b },
+		"<":  func(a, b float64) bool { return a < b },
+		"<=": func(a, b float64) bool { return a <= b },
+		">":  func(a, b float64) bool { return a > b },
+		">=": func(a, b float64) bool { return a >= b },
+	}
+	if f, ok := cmp[op]; ok {
+		out, err := broadcast(p, x.D, y.D, f, at)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolValue(out), nil
+	}
+	return Value{}, errf(at, "operator %s not defined on double", op)
+}
+
+func boolBinop(p *sched.Pool, op string, x, y Value, at Pos) (Value, error) {
+	ops := map[string]func(bool, bool) bool{
+		"&&": func(a, b bool) bool { return a && b },
+		"||": func(a, b bool) bool { return a || b },
+		"==": func(a, b bool) bool { return a == b },
+		"!=": func(a, b bool) bool { return a != b },
+	}
+	f, ok := ops[op]
+	if !ok {
+		return Value{}, errf(at, "operator %s not defined on bool", op)
+	}
+	out, err := broadcast(p, x.B, y.B, f, at)
+	if err != nil {
+		return Value{}, err
+	}
+	return BoolValue(out), nil
+}
+
+// indexSelect implements array[idx_vec]: prefix selection yields subarrays,
+// full-rank selection yields scalars (§2).
+func indexSelect(x Value, iv []int, at Pos) (v Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if se, ok := r.(*array.ShapeError); ok {
+				err = errf(at, "%s", se.Error())
+				return
+			}
+			panic(r)
+		}
+	}()
+	if len(iv) > x.Dim() {
+		return Value{}, errf(at, "index %v longer than rank %d", iv, x.Dim())
+	}
+	switch x.Kind {
+	case KindInt:
+		return IntValue(x.I.Sel(iv...)), nil
+	case KindBool:
+		return BoolValue(x.B.Sel(iv...)), nil
+	default:
+		return DoubleValue(x.D.Sel(iv...)), nil
+	}
+}
+
+// indexUpdate implements the functional update a[iv] = v for full-rank
+// scalar writes.
+func indexUpdate(cur Value, iv []int, val Value, at Pos) (out Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if se, ok := r.(*array.ShapeError); ok {
+				err = errf(at, "%s", se.Error())
+				return
+			}
+			panic(r)
+		}
+	}()
+	if len(iv) != cur.Dim() {
+		return Value{}, errf(at, "indexed assignment needs a full index (rank %d, index %v)", cur.Dim(), iv)
+	}
+	if cur.Kind != val.Kind || !val.IsScalar() {
+		return Value{}, errf(at, "indexed assignment needs a %s scalar, got %s", cur.Kind, val.TypeString())
+	}
+	switch cur.Kind {
+	case KindInt:
+		return IntValue(cur.I.WithAt(val.I.ScalarValue(), iv...)), nil
+	case KindBool:
+		return BoolValue(cur.B.WithAt(val.B.ScalarValue(), iv...)), nil
+	default:
+		return DoubleValue(cur.D.WithAt(val.D.ScalarValue(), iv...)), nil
+	}
+}

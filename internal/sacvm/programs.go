@@ -1,0 +1,237 @@
+package sacvm
+
+// Prelude is the paper's §2 vector concatenation operator, verbatim:
+// a with-loop-implemented universally applicable array operation.
+const Prelude = `
+int[.] (++) (int[.] a, int[.] b)
+{
+    rshp = shape(a) + shape(b);
+    res = with { ([0] <= iv < shape(a)) : a[iv];
+                 (shape(a) <= iv < rshp) : b[iv - shape(a)];
+    } : genarray( rshp, 0);
+    return( res);
+}
+`
+
+// SudokuGenSaC generalises the paper's solver from the hard-coded 9×9 of
+// §3 to any n²×n² board, deriving all bounds from shape(board) — the style
+// the paper's §2 recommends ("express generator boundaries in a symbolic
+// way").  It demonstrates that the interpreter handles symbolic with-loop
+// bounds; the 9×9-specific SudokuSaC below stays verbatim to the paper.
+const SudokuGenSaC = Prelude + `
+int isqrt( int x)
+{
+    n = 1;
+    while (n*n < x) { n = n + 1; }
+    return( n);
+}
+
+int[*], bool[*] addNumberGen( int i, int j, int k, int[*] board, bool[*] opts)
+{
+    N = shape(board)[0];
+    n = isqrt(N);
+    board[i,j] = k;
+    k = k - 1; is = (i/n)*n; js = (j/n)*n;
+    opts = with {
+        ([i,j,0]   <= iv <= [i,j,N-1])          : false;
+        ([i,0,k]   <= iv <= [i,N-1,k])          : false;
+        ([0,j,k]   <= iv <= [N-1,j,k])          : false;
+        ([is,js,k] <= iv <= [is+n-1,js+n-1,k])  : false;
+    } : modarray( opts);
+    return( board, opts);
+}
+
+bool isCompletedGen( int[*] board)
+{
+    N = shape(board)[0];
+    res = with { ([0,0] <= iv < [N,N]) : board[iv] != 0;
+    } : fold( and, true);
+    return( res);
+}
+
+int countAtGen( bool[*] opts, int i, int j)
+{
+    N = shape(opts)[0];
+    c = with { ([0] <= kv < [N]) : toi( opts[ [i,j] ++ kv ]);
+    } : fold( +, 0);
+    return( c);
+}
+
+bool isStuckGen( int[*] board, bool[*] opts)
+{
+    N = shape(board)[0];
+    stuck = with { ([0,0] <= iv < [N,N]) :
+                   (board[iv] == 0) && (countAtGen( opts, iv[0], iv[1]) == 0);
+    } : fold( or, false);
+    return( stuck);
+}
+
+int, int findMinTruesGen( bool[*] opts)
+{
+    N = shape(opts)[0];
+    bi = 0; bj = 0; best = N + 1;
+    for( i = 0; i < N; i++) {
+        for( j = 0; j < N; j++) {
+            c = countAtGen( opts, i, j);
+            if ((c > 0) && (c < best)) {
+                best = c; bi = i; bj = j;
+            }
+        }
+    }
+    return( bi, bj);
+}
+
+int[*], bool[*] computeOptsGen( int[*] board)
+{
+    N = shape(board)[0];
+    opts = with { ([0,0,0] <= iv < [N,N,N]) : true;
+    } : genarray( [N,N,N], true);
+    current = with { ([0,0] <= iv < [N,N]) : 0;
+    } : genarray( [N,N], 0);
+    for( i = 0; i < N; i++) {
+        for( j = 0; j < N; j++) {
+            if (board[i,j] != 0) {
+                current, opts = addNumberGen( i, j, board[i,j], current, opts);
+            }
+        }
+    }
+    return( current, opts);
+}
+
+int[*], bool[*] solveGen( int[*] board, bool[*] opts)
+{
+    N = shape(board)[0];
+    if (! isStuckGen( board, opts)
+        && ! isCompletedGen( board)) {
+        i,j = findMinTruesGen( opts);
+        mem_board = board;
+        mem_opts = opts;
+        for( k=1; (k<=N) && (!isCompletedGen( board)); k++) {
+            if( mem_opts[i,j,k-1] ) {
+                board, opts = addNumberGen( i, j, k,
+                                            mem_board, mem_opts);
+                board, opts = solveGen( board, opts);
+            }
+        }
+    }
+    return( board, opts);
+}
+`
+
+// SudokuSaC is the paper's sudoku solver written in the Core SaC subset:
+// addNumber and solve follow §3 literally (9×9 boards, 3×3 sub-boards, as
+// in the paper's hard-coded bounds); solveOneLevel follows §5/Fig. 1, using
+// snet_out to emit one record per viable alternative.  The predicates
+// isCompleted/isStuck and the findMinTrues heuristic are expressed as
+// fold-with-loops.
+const SudokuSaC = Prelude + `
+int[*], bool[*] addNumber( int i, int j, int k, int[*] board, bool[*] opts)
+{
+    board[i,j] = k;
+    k = k - 1; is = (i/3)*3; js = (j/3)*3;
+    opts = with {
+        ([i,j,0]   <= iv <= [i,j,8])        : false;
+        ([i,0,k]   <= iv <= [i,8,k])        : false;
+        ([0,j,k]   <= iv <= [8,j,k])        : false;
+        ([is,js,k] <= iv <= [is+2,js+2,k])  : false;
+    } : modarray( opts);
+    return( board, opts);
+}
+
+bool isCompleted( int[*] board)
+{
+    res = with { ([0,0] <= iv < [9,9]) : board[iv] != 0;
+    } : fold( and, true);
+    return( res);
+}
+
+int countAt( bool[*] opts, int i, int j)
+{
+    c = with { ([0] <= kv < [9]) : toi( opts[ [i,j] ++ kv ]);
+    } : fold( +, 0);
+    return( c);
+}
+
+bool isStuck( int[*] board, bool[*] opts)
+{
+    stuck = with { ([0,0] <= iv < [9,9]) :
+                   (board[iv] == 0) && (countAt( opts, iv[0], iv[1]) == 0);
+    } : fold( or, false);
+    return( stuck);
+}
+
+int, int findMinTrues( bool[*] opts)
+{
+    bi = 0; bj = 0; best = 10;
+    for( i = 0; i < 9; i++) {
+        for( j = 0; j < 9; j++) {
+            c = countAt( opts, i, j);
+            if ((c > 0) && (c < best)) {
+                best = c; bi = i; bj = j;
+            }
+        }
+    }
+    return( bi, bj);
+}
+
+int[*], bool[*] computeOpts( int[*] board)
+{
+    opts = with { ([0,0,0] <= iv < [9,9,9]) : true;
+    } : genarray( [9,9,9], true);
+    current = with { ([0,0] <= iv < [9,9]) : 0;
+    } : genarray( [9,9], 0);
+    for( i = 0; i < 9; i++) {
+        for( j = 0; j < 9; j++) {
+            if (board[i,j] != 0) {
+                current, opts = addNumber( i, j, board[i,j], current, opts);
+            }
+        }
+    }
+    return( current, opts);
+}
+
+int[*], bool[*] solve( int[*] board, bool[*] opts)
+{
+    if (! isStuck( board, opts)
+        && ! isCompleted( board)) {
+        i,j = findMinTrues( opts);
+        mem_board = board;
+        mem_opts = opts;
+        for( k=1; (k<=9) && (!isCompleted( board)); k++) {
+            if( mem_opts[i,j,k-1] ) {
+                board, opts = addNumber( i, j, k,
+                                         mem_board, mem_opts);
+                board, opts = solve( board, opts);
+            }
+        }
+    }
+    return( board, opts);
+}
+
+void solveOneLevel( int[*] board, bool[*] opts)
+{
+    if ( !isStuck( board, opts)
+         && !isCompleted( board)) {
+        i,j = findMinTrues( opts);
+        mem_board = board;
+        mem_opts = opts;
+        for( k=1; (k<=9) && !isCompleted(board); k++) {
+            if( mem_opts[i,j,k-1] ) {
+                board, opts = addNumber( i, j, k,
+                                         mem_board, mem_opts);
+                /* Variant order follows the box signature
+                   (board, opts) | (board, <done>): completion emits
+                   the <done> variant.  The paper's Fig. 1 listing has
+                   the two snet_out variant numbers swapped relative
+                   to its own prose and signature — see DESIGN.md. */
+                if ( isCompleted( board)) {
+                    snet_out( 2, board, 1);
+                } else {
+                    snet_out( 1, board, opts);
+                }
+            }
+        }
+    }
+    return;
+}
+`

@@ -1,0 +1,179 @@
+package sacvm
+
+import (
+	"testing"
+
+	"repro/internal/array"
+)
+
+func TestStructuralBuiltins(t *testing.T) {
+	out := run(t, Prelude+`
+		int[*] main() {
+			v = [1,2,3,4,5];
+			a = take( v, 2);
+			b = drop( v, 3);
+			return( a ++ b);
+		}`)
+	wantInts(t, out[0], 1, 2, 4, 5)
+}
+
+func TestRotateReverseBuiltins(t *testing.T) {
+	out := run(t, Prelude+`
+		int[*] main() {
+			v = [1,2,3,4];
+			return( rotate( 0, 1, v) ++ reverse( 0, v));
+		}`)
+	wantInts(t, out[0], 4, 1, 2, 3, 4, 3, 2, 1)
+}
+
+func TestTransposeBuiltin(t *testing.T) {
+	out := run(t, `
+		int main() {
+			m = with { ([0,0] <= iv < [2,3]) : iv[0]*10 + iv[1]; } : genarray([2,3], 0);
+			mt = transpose( m);
+			return( mt[2,1] * 100 + shape(mt)[0]);
+		}`)
+	if n, _ := out[0].AsInt(Pos{}); n != 12*100+3 {
+		t.Fatalf("got %d", n)
+	}
+}
+
+func TestTileBuiltin(t *testing.T) {
+	out := run(t, `
+		int[*] main() { return( tile( [7,8], 2)); }`)
+	wantInts(t, out[0], 7, 8, 7, 8)
+}
+
+func TestStructuralBuiltinErrors(t *testing.T) {
+	cases := []string{
+		`int[*] main() { return( take( [1,2], 5)); }`,
+		`int[*] main() { return( reverse( 3, [1,2])); }`,
+		`int[*] main() { return( transpose( [1,2])); }`,
+	}
+	for _, src := range cases {
+		prog := MustParse(src)
+		if _, err := New(prog, tp).Call("main", nil, nil); err == nil {
+			t.Fatalf("%q: want error", src)
+		}
+	}
+}
+
+// The generalised solver works on 4×4 boards — symbolic with-loop bounds
+// derived from shape(board).
+func TestGeneralizedSolver4x4(t *testing.T) {
+	prog := MustParse(SudokuGenSaC)
+	itp := New(prog, tp)
+	// A 4×4 puzzle: first row given, rest empty.
+	board := IntValue(mustBoard4())
+	res, err := itp.Call("computeOptsGen", []Value{board}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := itp.Call("solveGen", []Value{res[0], res[1]}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := itp.Call("isCompletedGen", []Value{res2[0]}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := done[0].AsBool(Pos{}); !b {
+		t.Fatalf("generalised solver failed:\n%s", res2[0])
+	}
+	// Every row must contain 1..4 exactly once.
+	sums := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		rowSum := 0
+		for j := 0; j < 4; j++ {
+			rowSum += res2[0].I.At(i, j)
+		}
+		if rowSum != 10 {
+			t.Fatalf("row %d sums to %d", i, rowSum)
+		}
+		sums[rowSum] = true
+	}
+}
+
+func TestGeneralizedMatches9x9Specific(t *testing.T) {
+	gen := New(MustParse(SudokuGenSaC), tp)
+	spec := New(MustParse(SudokuSaC), tp)
+	board := IntValue(mustBoard9())
+	g1, err := gen.Call("computeOptsGen", []Value{board}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := spec.Call("computeOpts", []Value{board}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g1[1].Equal(s1[1]) {
+		t.Fatal("generalised and 9×9-specific computeOpts disagree")
+	}
+	g2, err := gen.Call("solveGen", []Value{g1[0], g1[1]}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := spec.Call("solve", []Value{s1[0], s1[1]}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2[0].Equal(s2[0]) {
+		t.Fatal("generalised and 9×9-specific solve disagree")
+	}
+}
+
+func TestIsqrtHelper(t *testing.T) {
+	itp := New(MustParse(SudokuGenSaC), tp)
+	for _, c := range []struct{ x, want int }{{1, 1}, {4, 2}, {9, 3}, {16, 4}, {15, 4}} {
+		out, err := itp.Call("isqrt", []Value{IntScalar(c.x)}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n, _ := out[0].AsInt(Pos{}); n != c.want {
+			t.Fatalf("isqrt(%d) = %d, want %d", c.x, n, c.want)
+		}
+	}
+}
+
+func mustBoard4() *array.Array[int] {
+	cells := []int{
+		1, 2, 3, 4,
+		0, 0, 0, 0,
+		0, 0, 0, 0,
+		0, 0, 0, 0,
+	}
+	return array.FromSlice([]int{4, 4}, cells)
+}
+
+func mustBoard9() *array.Array[int] {
+	// The classic easy puzzle used across the repository.
+	s := "530070000600195000098000060800060003400803001700020006060000280000419005000080079"
+	cells := make([]int, 81)
+	for i, r := range s {
+		cells[i] = int(r - '0')
+	}
+	return array.FromSlice([]int{9, 9}, cells)
+}
+
+func TestDoubleStructuralOps(t *testing.T) {
+	out := run(t, `
+		double main() {
+			v = [1.5, 2.5, 3.5];
+			w = reverse( 0, v);
+			return( w[0] + take( v, 1)[0]);
+		}`)
+	if out[0].D.ScalarValue() != 5.0 {
+		t.Fatalf("got %v", out[0])
+	}
+}
+
+func TestBoolStructuralOps(t *testing.T) {
+	out := run(t, `
+		bool main() {
+			v = [true, false, true];
+			return( reverse( 0, v)[0] == true && drop( v, 2)[0]);
+		}`)
+	if b, _ := out[0].AsBool(Pos{}); !b {
+		t.Fatalf("got %v", out[0])
+	}
+}

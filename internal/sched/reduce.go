@@ -1,0 +1,42 @@
+package sched
+
+import "context"
+
+// Reduce computes a parallel reduction over [0, n).  mapChunk reduces one
+// contiguous chunk to a partial value starting from neutral; combine folds
+// two partials.  combine must be associative, and neutral its identity.
+// Chunk partials are combined in ascending chunk order, so for merely
+// associative (non-commutative) operators the result still equals the
+// sequential left fold.
+func Reduce[T any](p *Pool, ctx context.Context, n int, neutral T,
+	mapChunk func(lo, hi int, acc T) T, combine func(a, b T) T) (T, error) {
+
+	if n <= 0 {
+		return neutral, nil
+	}
+	if p.width == 1 || n <= p.grain {
+		var out T
+		err := runInline(ctx, n, func(lo, hi int) {
+			out = mapChunk(lo, hi, neutral)
+		})
+		return out, err
+	}
+	chunk, nchunks := p.chunking(n)
+	partials := make([]T, nchunks)
+	err := p.forChunks(ctx, nchunks, func(c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		partials[c] = mapChunk(lo, hi, neutral)
+	})
+	if err != nil {
+		return neutral, err
+	}
+	out := neutral
+	for c := 0; c < nchunks; c++ {
+		out = combine(out, partials[c])
+	}
+	return out, nil
+}

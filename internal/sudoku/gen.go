@@ -1,0 +1,83 @@
+package sudoku
+
+import (
+	"math/rand"
+
+	"repro/internal/sched"
+)
+
+// GenerateSolved returns a uniformly shuffled valid solved board of
+// sub-board size n, deterministically derived from seed.
+//
+// It starts from the canonical Latin construction
+//
+//	cell(i,j) = ((i·n + i/n + j) mod N) + 1
+//
+// which satisfies all three sudoku constraints, then applies the standard
+// validity-preserving shuffles: symbol permutation, row permutations within
+// bands, column permutations within stacks, band and stack permutations.
+func GenerateSolved(n int, seed int64) *Board {
+	N := n * n
+	rng := rand.New(rand.NewSource(seed))
+
+	symbols := rng.Perm(N) // symbol s → symbols[s]+1
+	rowOf := groupPerm(rng, n)
+	colOf := groupPerm(rng, n)
+
+	b := NewBoard(n)
+	for i := 0; i < N; i++ {
+		for j := 0; j < N; j++ {
+			si, sj := rowOf[i], colOf[j]
+			v := (si*n + si/n + sj) % N
+			b.cells.Set(symbols[v]+1, i, j)
+		}
+	}
+	return b
+}
+
+// groupPerm builds a permutation of [0, n²) that permutes the n groups of n
+// consecutive indices and the indices within each group independently —
+// rows within bands plus band order (and likewise for columns).
+func groupPerm(rng *rand.Rand, n int) []int {
+	N := n * n
+	groups := rng.Perm(n)
+	out := make([]int, N)
+	for g := 0; g < n; g++ {
+		inner := rng.Perm(n)
+		for r := 0; r < n; r++ {
+			out[g*n+r] = groups[g]*n + inner[r]
+		}
+	}
+	return out
+}
+
+// Generate digs holes into a solved board: it removes `holes` cells in a
+// seed-determined random order.  With unique set, a removal that makes the
+// solution non-unique is reverted (and another cell tried), so the result
+// keeps a unique solution; uniqueness checking costs a bounded solver run
+// per removal and is practical for n ≤ 3.
+func Generate(p *sched.Pool, n int, seed int64, holes int, unique bool) (puzzle, solution *Board) {
+	solution = GenerateSolved(n, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	N := n * n
+	order := rng.Perm(N * N)
+	puzzle = solution.Clone()
+	removed := 0
+	for _, cell := range order {
+		if removed >= holes {
+			break
+		}
+		i, j := cell/N, cell%N
+		v := puzzle.Get(i, j)
+		if v == 0 {
+			continue
+		}
+		candidate := puzzle.With(i, j, 0)
+		if unique && CountSolutions(p, candidate, 2) != 1 {
+			continue
+		}
+		puzzle = candidate
+		removed++
+	}
+	return puzzle, solution
+}

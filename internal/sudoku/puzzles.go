@@ -1,0 +1,72 @@
+package sudoku
+
+// Fixed benchmark puzzles.  Easy/Medium are conventional newspaper-grade
+// 9×9 puzzles; Hard is the "AI Escargot" instance, a classic
+// minimal-givens stress test for backtracking solvers.  All are verified
+// (solvable, unique) by the test suite.
+
+// Easy is the well-known example puzzle from the sudoku literature.
+func Easy() *Board {
+	return MustParse(
+		"530070000" +
+			"600195000" +
+			"098000060" +
+			"800060003" +
+			"400803001" +
+			"700020006" +
+			"060000280" +
+			"000419005" +
+			"000080079")
+}
+
+// EasySolution is the unique solution of Easy.
+func EasySolution() *Board {
+	return MustParse(
+		"534678912" +
+			"672195348" +
+			"198342567" +
+			"859761423" +
+			"426853791" +
+			"713924856" +
+			"961537284" +
+			"287419635" +
+			"345286179")
+}
+
+// Medium is a mid-difficulty puzzle with 26 givens.
+func Medium() *Board {
+	return MustParse(
+		"000260701" +
+			"680070090" +
+			"190004500" +
+			"820100040" +
+			"004602900" +
+			"050003028" +
+			"009300074" +
+			"040050036" +
+			"703018000")
+}
+
+// Hard is "AI Escargot" (Arto Inkala), frequently cited as one of the
+// hardest 9×9 puzzles for human techniques; it exercises deep backtracking.
+func Hard() *Board {
+	return MustParse(
+		"100007090" +
+			"030020008" +
+			"009600500" +
+			"005300900" +
+			"010080002" +
+			"600004000" +
+			"300000010" +
+			"040000007" +
+			"007000300")
+}
+
+// Fixed9x9 returns the named benchmark set used throughout EXPERIMENTS.md.
+func Fixed9x9() map[string]*Board {
+	return map[string]*Board{
+		"easy":   Easy(),
+		"medium": Medium(),
+		"hard":   Hard(),
+	}
+}

@@ -1,0 +1,47 @@
+package sac_test
+
+import (
+	"fmt"
+
+	"repro/sac"
+	saclang "repro/sac/lang"
+)
+
+// The paper's §2 examples through the public with-loop API.
+func ExampleGenarray() {
+	p := sac.NewPool(1)
+	v := sac.Genarray(p, []int{6}, 0,
+		sac.GenHalfOpen([]int{1}, []int{4}, func(iv []int) int { return 1 }),
+		sac.GenHalfOpen([]int{3}, []int{5}, func(iv []int) int { return 2 }))
+	fmt.Println(v)
+	// Output: [0,1,1,2,2,0]
+}
+
+func ExampleModarray() {
+	p := sac.NewPool(1)
+	a := sac.Vector(0, 1, 1, 2, 2, 0)
+	fmt.Println(sac.Modarray(p, a,
+		sac.GenHalfOpen([]int{0}, []int{3}, func(iv []int) int { return 3 })))
+	// Output: [3,3,3,2,2,0]
+}
+
+func ExampleFold() {
+	p := sac.NewPool(2)
+	sum := sac.Fold(p, 0, func(a, b int) int { return a + b },
+		sac.GenHalfOpen([]int{0}, []int{101}, func(iv []int) int { return iv[0] }))
+	fmt.Println(sum)
+	// Output: 5050
+}
+
+// Interpreting the paper's own Core SaC source.
+func ExampleNew() {
+	prog := saclang.MustParse(saclang.Prelude + `
+		int[*] main() {
+			a = [1,2,3];
+			return( a ++ [4,5]);
+		}`)
+	itp := saclang.New(prog, sac.NewPool(1))
+	out, _ := itp.Call("main", nil, nil)
+	fmt.Println(out[0])
+	// Output: [1,2,3,4,5]
+}

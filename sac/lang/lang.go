@@ -1,0 +1,65 @@
+// Package lang is the public API of the Core SaC interpreter (§2 of the
+// paper): parse SaC source and call its functions, with with-loops running
+// data-parallel on a sac.Pool.
+//
+//	prog := lang.MustParse(lang.Prelude + `
+//	    int[*] main() {
+//	        res = with { ([1] <= iv < [4]) : 42; } : genarray( [5], 0);
+//	        return( res);
+//	    }`)
+//	itp := lang.New(prog, sac.NewPool(2))
+//	out, err := itp.Call("main", nil, nil)
+//
+// The embedded SudokuSaC program is the paper's §3/§5 solver; snet_out
+// calls are delivered through the EmitFn hook, which is how interpreted SaC
+// functions become S-Net boxes.
+package lang
+
+import "repro/internal/sacvm"
+
+type (
+	// Program is a parsed SaC module.
+	Program = sacvm.Program
+	// Interp evaluates a parsed module.
+	Interp = sacvm.Interp
+	// Value is a SaC value (int/bool/double array; scalars are rank 0).
+	Value = sacvm.Value
+	// ValueKind is a value's element type.
+	ValueKind = sacvm.ValueKind
+	// EmitFn receives snet_out calls (box embedding hook).
+	EmitFn = sacvm.EmitFn
+	// Error is a lex, parse or evaluation failure with position.
+	Error = sacvm.Error
+	// Pos is a source position.
+	Pos = sacvm.Pos
+)
+
+const (
+	KindInt    = sacvm.KindInt
+	KindBool   = sacvm.KindBool
+	KindDouble = sacvm.KindDouble
+)
+
+var (
+	Parse     = sacvm.Parse
+	MustParse = sacvm.MustParse
+	New       = sacvm.New
+
+	IntValue     = sacvm.IntValue
+	BoolValue    = sacvm.BoolValue
+	DoubleValue  = sacvm.DoubleValue
+	IntScalar    = sacvm.IntScalar
+	BoolScalar   = sacvm.BoolScalar
+	DoubleScalar = sacvm.DoubleScalar
+	IntVector    = sacvm.IntVector
+)
+
+// Embedded programs.
+const (
+	// Prelude is the paper's §2 vector concatenation operator (++).
+	Prelude = sacvm.Prelude
+	// SudokuSaC is the paper's sudoku solver in Core SaC.
+	SudokuSaC = sacvm.SudokuSaC
+	// SudokuGenSaC generalises the solver to any n²×n² board.
+	SudokuGenSaC = sacvm.SudokuGenSaC
+)

@@ -1,0 +1,49 @@
+// Package lang is the public API of the textual S-Net surface language:
+// the notation the paper uses for box declarations, filters and network
+// expressions.
+//
+//	box computeOpts (board) -> (board, opts);
+//	box solveOneLevel (board, opts) -> (board, opts) | (board, <done>);
+//	net fig1 connect computeOpts .. (solveOneLevel ** {<done>});
+//
+// Box names are bound to Go implementations through a Registry — the role
+// the SaC compiler plays in the paper's two-layer model:
+//
+//	reg := lang.NewRegistry().
+//	    RegisterFunc("computeOpts", computeOptsFn).
+//	    RegisterFunc("solveOneLevel", solveFn)
+//	net, err := lang.BuildText(src, "fig1", reg)
+//	h := snet.Start(ctx, net)
+package lang
+
+import (
+	internal "repro/internal/lang"
+)
+
+type (
+	// Program is a parsed S-Net source file.
+	Program = internal.Program
+	// BoxDecl is a box declaration.
+	BoxDecl = internal.BoxDecl
+	// NetDecl is a net definition.
+	NetDecl = internal.NetDecl
+	// Registry binds box names to implementations.
+	Registry = internal.Registry
+	// Error is a parse or build failure with source position.
+	Error = internal.Error
+	// Pos is a source position.
+	Pos = internal.Pos
+)
+
+var (
+	// Parse parses an S-Net program.
+	Parse = internal.Parse
+	// MustParse is Parse panicking on error.
+	MustParse = internal.MustParse
+	// NewRegistry returns an empty box registry.
+	NewRegistry = internal.NewRegistry
+	// Build instantiates a named net against a registry.
+	Build = internal.Build
+	// BuildText parses and builds in one step.
+	BuildText = internal.BuildText
+)

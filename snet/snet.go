@@ -1,0 +1,156 @@
+// Package snet is the public API of the S-Net coordination runtime — the
+// primary contribution of Grelck, Scholz & Shafarenko, "Coordinating Data
+// Parallel SAC Programs with S-Net" (IPPS 2007).
+//
+// S-Net turns stateless functions into asynchronously executed stream
+// components ("boxes") over typed records, and composes them with four
+// network combinators (and their deterministic variants):
+//
+//	Serial(a, b)        a .. b      pipeline
+//	Parallel(a, b)      a || b      best-match routing, eager merge
+//	Star(a, pattern)    a ** (p)    demand-driven serial replication
+//	Split(a, "k")       a !! <k>    tag-indexed parallel replication
+//	ParallelDet/StarDet/SplitDet    |  *  !   (order-preserving variants)
+//
+// plus housekeeping Filters, Synchrocells and transparent Observe taps.
+//
+// Quickstart:
+//
+//	inc := snet.NewBox("inc", snet.MustParseSignature("(<n>) -> (<n>)"),
+//	    func(args []any, out *snet.Emitter) error {
+//	        return out.Out(1, args[0].(int)+1)
+//	    })
+//	net := snet.Serial(inc, snet.MustFilter("{<n>} -> {<n>=<n>*2}"))
+//	h := snet.Start(context.Background(), net)
+//	h.Send(snet.NewRecord().SetTag("n", 20))
+//	h.Close()
+//	for r := range h.Out() { fmt.Println(r) } // {<n>=42}
+//
+// See snet/lang for the textual network language of the paper.
+package snet
+
+import (
+	"context"
+
+	"repro/internal/core"
+)
+
+// Core data model.
+type (
+	// Record is a set of labelled fields (opaque values) and tags (ints).
+	Record = core.Record
+	// Label names a field or tag.
+	Label = core.Label
+	// Variant is a record type: a set of labels.
+	Variant = core.Variant
+	// RecType is a disjunction of variants.
+	RecType = core.RecType
+	// Pattern is a variant with an optional tag guard.
+	Pattern = core.Pattern
+	// TagExpr is an integer expression over tag values.
+	TagExpr = core.TagExpr
+	// BoxSignature declares a box's input tuple and output variants.
+	BoxSignature = core.BoxSignature
+	// FilterSpec is a parsed filter.
+	FilterSpec = core.FilterSpec
+	// FilterItem is one element of a filter output specifier.
+	FilterItem = core.FilterItem
+)
+
+// Runtime types.
+type (
+	// Node is a SISO network component (box, filter or combinator).
+	Node = core.Node
+	// BoxFunc is the computation wrapped by a box.
+	BoxFunc = core.BoxFunc
+	// Emitter delivers box outputs (the paper's snet_out).
+	Emitter = core.Emitter
+	// Handle is a running network.
+	Handle = core.Handle
+	// Stats collects runtime counters (replica counts, box calls, ...).
+	Stats = core.Stats
+	// Tracer observes records crossing node boundaries.
+	Tracer = core.Tracer
+	// TracerFunc adapts a function to Tracer.
+	TracerFunc = core.TracerFunc
+	// Option configures a run.
+	Option = core.Option
+	// Diagnostic is a network type-check finding.
+	Diagnostic = core.Diagnostic
+)
+
+// Record and label constructors.
+var (
+	NewRecord  = core.NewRecord
+	Field      = core.Field
+	Tag        = core.Tag
+	NewVariant = core.NewVariant
+)
+
+// Parsers for the textual micro-forms.
+var (
+	ParseSignature     = core.ParseSignature
+	MustParseSignature = core.MustParseSignature
+	ParsePattern       = core.ParsePattern
+	MustParsePattern   = core.MustParsePattern
+	ParseFilter        = core.ParseFilter
+	MustParseFilter    = core.MustParseFilter
+	ParseTagExpr       = core.ParseTagExpr
+	MustParseTagExpr   = core.MustParseTagExpr
+)
+
+// Node constructors.
+var (
+	NewBox        = core.NewBox
+	NewFilter     = core.NewFilter
+	FilterFrom    = core.FilterFrom
+	MustFilter    = core.MustFilter
+	Observe       = core.Observe
+	Serial        = core.Serial
+	Parallel      = core.Parallel
+	ParallelDet   = core.ParallelDet
+	Star          = core.Star
+	StarDet       = core.StarDet
+	NamedStar     = core.NamedStar
+	NamedStarDet  = core.NamedStarDet
+	Split         = core.Split
+	SplitDet      = core.SplitDet
+	NamedSplit    = core.NamedSplit
+	NamedSplitDet = core.NamedSplitDet
+	Sync          = core.Sync
+)
+
+// Run options.
+var (
+	WithBuffer        = core.WithBuffer
+	WithTracer        = core.WithTracer
+	WithErrorHandler  = core.WithErrorHandler
+	WithMaxStarDepth  = core.WithMaxStarDepth
+	WithMaxSplitWidth = core.WithMaxSplitWidth
+)
+
+// Typing and analysis.
+var (
+	Infer      = core.Infer
+	Check      = core.Check
+	MatchScore = core.MatchScore
+)
+
+// Errors.
+var ErrCancelled = core.ErrCancelled
+var ErrClosed = core.ErrClosed
+
+// Start launches a network; see Handle for the stream API.
+func Start(ctx context.Context, root Node, opts ...Option) *Handle {
+	return core.Start(ctx, root, opts...)
+}
+
+// RunAll feeds all inputs, closes the input, and collects every output.
+func RunAll(ctx context.Context, root Node, inputs []*Record, opts ...Option) ([]*Record, *Stats, error) {
+	return core.RunAll(ctx, root, inputs, opts...)
+}
+
+// RunUntil feeds inputs and returns the first output satisfying stop.
+func RunUntil(ctx context.Context, root Node, inputs []*Record, stop func(*Record) bool, opts ...Option) (*Record, *Stats, error) {
+	return core.RunUntil(ctx, root, inputs, stop, opts...)
+}

@@ -1,0 +1,77 @@
+// Package sudoku is the public API of the paper's case study: n²×n² sudoku
+// solving as a search problem (§3), restructured into S-Net stream networks
+// (§5, Figures 1–3).
+//
+//	puzzle := sudoku.Easy()
+//	// sequential §3 solver
+//	solved, ok := sudoku.SolveBoard(sac.NewPool(1), puzzle)
+//	// Fig. 2 network: full unfolding over tag <k>
+//	net := sudoku.Fig2Net(sudoku.NetConfig{})
+//	board, stats, err := sudoku.SolveWithNet(ctx, net, puzzle)
+package sudoku
+
+import internal "repro/internal/sudoku"
+
+type (
+	// Board is an n²×n² sudoku board (0 = empty), immutable by
+	// convention.
+	Board = internal.Board
+	// Options is the paper's bool[N,N,N] cube of remaining choices.
+	Options = internal.Options
+	// NetConfig selects the solver-network variant and parameters.
+	NetConfig = internal.NetConfig
+	// SolveOneLevelOutput is one record emitted by SolveOneLevel.
+	SolveOneLevelOutput = internal.SolveOneLevelOutput
+	// SacBoxes wires the paper's interpreted SaC code into S-Net boxes.
+	SacBoxes = internal.SacBoxes
+)
+
+// Boards and puzzles.
+var (
+	NewBoard       = internal.NewBoard
+	FromGrid       = internal.FromGrid
+	Parse          = internal.Parse
+	MustParse      = internal.MustParse
+	Easy           = internal.Easy
+	EasySolution   = internal.EasySolution
+	Medium         = internal.Medium
+	Hard           = internal.Hard
+	Fixed9x9       = internal.Fixed9x9
+	Generate       = internal.Generate
+	GenerateSolved = internal.GenerateSolved
+)
+
+// Solver primitives (§3).
+var (
+	NewOptions     = internal.NewOptions
+	AddNumber      = internal.AddNumber
+	ComputeOpts    = internal.ComputeOpts
+	IsStuck        = internal.IsStuck
+	FindMinTrues   = internal.FindMinTrues
+	Solve          = internal.Solve
+	SolveBoard     = internal.SolveBoard
+	CountSolutions = internal.CountSolutions
+	SolveOneLevel  = internal.SolveOneLevel
+)
+
+// S-Net boxes and networks (§5).
+var (
+	ComputeOptsBox       = internal.ComputeOptsBox
+	SolveOneLevelBoxFig1 = internal.SolveOneLevelBoxFig1
+	SolveOneLevelBoxFig2 = internal.SolveOneLevelBoxFig2
+	SolveOneLevelBoxFig3 = internal.SolveOneLevelBoxFig3
+	SolveBox             = internal.SolveBox
+	Fig1Net              = internal.Fig1Net
+	Fig2Net              = internal.Fig2Net
+	Fig3Net              = internal.Fig3Net
+	SolveWithNet         = internal.SolveWithNet
+)
+
+// Hybrid (interpreted SaC) configuration.
+var (
+	NewSacBoxes    = internal.NewSacBoxes
+	BoardToValue   = internal.BoardToValue
+	ValueToBoard   = internal.ValueToBoard
+	OptionsToValue = internal.OptionsToValue
+	ValueToOptions = internal.ValueToOptions
+)
