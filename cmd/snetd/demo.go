@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/snet/service"
+	"repro/sudoku"
+)
+
+// runDemo is the acceptance scenario for the service: it binds the service
+// to a loopback listener and hammers it with n concurrent HTTP clients,
+// each opening its own session, streaming a sudoku puzzle in, draining the
+// solution and releasing the session.  Every solution is verified against
+// its puzzle; the run fails if any client errs, any board is wrong, or the
+// /stats counters stay zero.
+func runDemo(svc *service.Service, n int, out io.Writer) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	defer func() { _ = srv.Close(); svc.Shutdown() }()
+	base := "http://" + ln.Addr().String()
+
+	fmt.Fprintf(out, "snetd demo: %d concurrent sessions against %s\n", n, base)
+	start := time.Now()
+	latencies := make([]time.Duration, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			t0 := time.Now()
+			errs[c] = demoClient(base, c)
+			latencies[c] = time.Since(t0)
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	failed := 0
+	for c, err := range errs {
+		if err != nil {
+			failed++
+			fmt.Fprintf(out, "  client %3d: FAIL %v\n", c, err)
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	fmt.Fprintf(out, "  %d/%d sessions solved their puzzle in %v\n", n-failed, n, wall.Round(time.Millisecond))
+	fmt.Fprintf(out, "  session latency min/median/max: %v / %v / %v\n",
+		latencies[0].Round(time.Millisecond),
+		latencies[n/2].Round(time.Millisecond),
+		latencies[n-1].Round(time.Millisecond))
+	if failed > 0 {
+		return fmt.Errorf("demo: %d of %d sessions failed", failed, n)
+	}
+
+	stats, err := fetchStats(base)
+	if err != nil {
+		return err
+	}
+	var opened, recIn, recOut int64
+	for k, v := range stats {
+		if strings.HasSuffix(k, ".sessions.opened") {
+			opened += v
+		}
+		if strings.HasSuffix(k, ".records.in") {
+			recIn += v
+		}
+		if strings.HasSuffix(k, ".records.out") {
+			recOut += v
+		}
+	}
+	fmt.Fprintf(out, "  /stats: sessions.opened=%d records.in=%d records.out=%d\n", opened, recIn, recOut)
+	for _, k := range []string{"net.fig1.latency.session_ns", "net.fig2.latency.session_ns"} {
+		if v, ok := stats[k]; ok && v > 0 {
+			fmt.Fprintf(out, "  /stats: %s=%d\n", k, v)
+		}
+	}
+	if opened < int64(n) || recIn < int64(n) || recOut < int64(n) {
+		return fmt.Errorf("demo: /stats counters too low: opened=%d in=%d out=%d want >= %d",
+			opened, recIn, recOut, n)
+	}
+	fmt.Fprintln(out, "  OK")
+	return nil
+}
+
+// demoPuzzles cycles the fixed 9×9 workload set.
+var demoPuzzles = []string{"easy", "medium", "hard"}
+
+// demoClient drives one full session lifecycle over the wire.
+func demoClient(base string, c int) error {
+	nets := []string{"fig1", "fig2", "fig3"}
+	netName := nets[c%len(nets)]
+	puzzleName := demoPuzzles[(c/len(nets))%len(demoPuzzles)]
+	puzzle := sudoku.Fixed9x9()[puzzleName]
+
+	var opened struct {
+		Session string `json:"session"`
+	}
+	if err := postJSON(base+"/api/sessions", map[string]string{"net": netName}, &opened); err != nil {
+		return fmt.Errorf("open %s: %w", netName, err)
+	}
+	url := base + "/api/sessions/" + opened.Session
+	defer func() {
+		req, _ := http.NewRequest(http.MethodDelete, url, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	feed := map[string]any{
+		"records": []service.RecordJSON{{Fields: map[string]string{"board": boardString(puzzle)}}},
+		"close":   true,
+	}
+	if err := postJSON(url+"/records", feed, nil); err != nil {
+		return fmt.Errorf("feed: %w", err)
+	}
+
+	// Drain in batches until a solution appears: fig1/fig2 emit completed
+	// boards only, but fig3's terminal solve box also passes through the
+	// stuck boards of dead-end candidates — first-solution-wins, like the
+	// RunUntil harness of the batch experiments.
+	for {
+		var res struct {
+			Records []service.RecordJSON `json:"records"`
+			Done    bool                 `json:"done"`
+		}
+		if err := getJSON(url+"/results?max=16&wait=60s", &res); err != nil {
+			return fmt.Errorf("results: %w", err)
+		}
+		for _, rec := range res.Records {
+			solved, err := sudoku.Parse(rec.Fields["board"])
+			if err != nil {
+				return fmt.Errorf("%s/%s: bad board in response: %w", netName, puzzleName, err)
+			}
+			if solved.IsSolved() {
+				if !solved.Extends(puzzle) {
+					return fmt.Errorf("%s/%s: solution does not extend the puzzle:\n%v",
+						netName, puzzleName, solved)
+				}
+				return nil
+			}
+		}
+		if res.Done {
+			return fmt.Errorf("%s/%s: network drained without a solution", netName, puzzleName)
+		}
+		if len(res.Records) == 0 {
+			return fmt.Errorf("%s/%s: no records within the wait window", netName, puzzleName)
+		}
+	}
+}
+
+func postJSON(url string, body, out any) error {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		return err
+	}
+	return decodeJSON(resp, out)
+}
+
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return decodeJSON(resp, out)
+}
+
+func decodeJSON(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func fetchStats(base string) (map[string]int64, error) {
+	var stats map[string]int64
+	if err := getJSON(base+"/api/stats", &stats); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}

@@ -1,0 +1,124 @@
+// Command snetd serves S-Net networks to concurrent clients over
+// HTTP/JSON — the paper's batch case study deployed as a long-running
+// service.  It registers the three sudoku solver networks of Figures 1–3
+// (records carry 81-character boards) and, optionally, every net defined in
+// a textual .snet program bound against the demo box registry.
+//
+// Usage:
+//
+//	snetd [-addr :8080] [-workers w] [-buffer n] [-max-sessions n]
+//	      [-idle-timeout d] [-throttle m] [-level L] [-det] [-snet file.snet]
+//	snetd -demo 50       # in-process load demo: 50 concurrent sessions
+//
+// Wire protocol (see snet/service):
+//
+//	POST /api/sessions                  {"net":"fig1"}
+//	POST /api/sessions/{id}/records     {"records":[{"fields":{"board":"..81 chars.."}}],"close":true}
+//	GET  /api/sessions/{id}/results     ?wait=10s
+//	DELETE /api/sessions/{id}
+//	POST /api/run                       one-shot open/feed/drain/release
+//	GET  /api/networks | /api/stats | /api/healthz
+//
+// Example:
+//
+//	snetd &
+//	curl -s localhost:8080/api/run -d '{"net":"fig2","wait":"10s","records":[
+//	  {"fields":{"board":"53..7....6..195....98....6.8...6...34..8.3..17...2...6.6....28....419..5....8..79"}}]}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/sac"
+	"repro/snet/service"
+)
+
+// config collects the deployment knobs shared by serve and demo mode.
+type config struct {
+	workers     int           // with-loop pool width inside the boxes
+	buffer      int           // stream buffer capacity per network instance
+	maxSessions int           // per-network concurrent session cap
+	idleTimeout time.Duration // abandoned-session reaping threshold
+	throttle    int           // fig3 parallel-width throttle m
+	level       int           // fig3 serial-replication exit level L
+	det         bool
+	snetFile    string
+}
+
+// newService builds the service with the built-in sudoku networks and any
+// textual networks from cfg.snetFile.
+func newService(cfg config) (*service.Service, error) {
+	svc := service.New()
+	opts := service.Options{
+		BufferSize:  cfg.buffer,
+		MaxSessions: cfg.maxSessions,
+		IdleTimeout: cfg.idleTimeout,
+		Pool:        sac.NewPool(cfg.workers),
+	}
+	registerSudokuNets(svc, opts, cfg)
+	if cfg.snetFile != "" {
+		if err := registerLangNets(svc, opts, cfg.snetFile); err != nil {
+			return nil, err
+		}
+	}
+	return svc, nil
+}
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+		demo = flag.Int("demo", 0, "run an in-process demo with this many concurrent sessions, then exit")
+		cfg  config
+	)
+	flag.IntVar(&cfg.workers, "workers", 1, "data-parallel with-loop workers per box ('SaC threads')")
+	flag.IntVar(&cfg.buffer, "buffer", 32, "stream buffer capacity per network instance")
+	flag.IntVar(&cfg.maxSessions, "max-sessions", 0, "concurrent sessions per network (0: default 1024, <0: unlimited)")
+	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", 0, "release sessions idle this long (0: default 10m, <0: never)")
+	flag.IntVar(&cfg.throttle, "throttle", 4, "fig3: parallel-width throttle m in {<k>}->{<k>=<k>%m}")
+	flag.IntVar(&cfg.level, "level", 40, "fig3: serial-replication exit level L")
+	flag.BoolVar(&cfg.det, "det", false, "use deterministic combinator variants (|, *, !)")
+	flag.StringVar(&cfg.snetFile, "snet", "", "also serve every net of this textual S-Net program (demo boxes)")
+	flag.Parse()
+
+	svc, err := newService(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *demo > 0 {
+		if err := runDemo(svc, *demo, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	go func() {
+		fmt.Printf("snetd: serving %d networks on %s\n", len(svc.Networks()), *addr)
+		for _, n := range svc.Networks() {
+			fmt.Printf("  %-12s %s\n", n.Name(), n.Description())
+		}
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	fmt.Println("snetd: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx) // stop accepting requests
+	svc.Shutdown()        // cancel live sessions, wind down network instances
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "snetd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/snet/service"
+	"repro/sudoku"
+)
+
+// TestDemo50ConcurrentSessions is the service acceptance scenario: 50
+// concurrent HTTP sessions solving sudoku records through the shared
+// networks, verified solutions, and non-zero /stats counters.
+func TestDemo50ConcurrentSessions(t *testing.T) {
+	n := 50
+	if testing.Short() {
+		n = 12
+	}
+	svc, err := newService(config{workers: 1, buffer: 8, throttle: 4, level: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := runDemo(svc, n, &out); err != nil {
+		t.Fatalf("demo: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "OK") {
+		t.Fatalf("demo output missing OK:\n%s", out.String())
+	}
+}
+
+func TestBoardCodecRoundTrip(t *testing.T) {
+	puzzle := sudoku.Fixed9x9()["easy"]
+	wire := service.RecordJSON{
+		Fields: map[string]string{"board": boardString(puzzle)},
+		Tags:   map[string]int{"k": 3},
+	}
+	rec, err := boardCodec{}.Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := rec.Field("board")
+	if !ok || !v.(*sudoku.Board).Equal(puzzle) {
+		t.Fatalf("decoded board mismatch")
+	}
+	back := boardCodec{}.Encode(rec)
+	if back.Fields["board"] != boardString(puzzle) || back.Tags["k"] != 3 {
+		t.Fatalf("round trip: %+v", back)
+	}
+}
+
+// TestLangNetworkOverHTTP serves a textual S-Net program and runs a record
+// through it via the one-shot endpoint.
+func TestLangNetworkOverHTTP(t *testing.T) {
+	svc, err := newService(config{workers: 1, throttle: 4, level: 40,
+		snetFile: "testdata/countdown.snet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Shutdown()
+	sess, err := svc.Open("countdown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Release()
+	rec, err := service.GenericCodec{}.Decode(service.RecordJSON{Tags: map[string]int{"n": 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := t.Context()
+	if err := sess.Send(ctx, rec); err != nil {
+		t.Fatal(err)
+	}
+	sess.CloseInput()
+	recs, done, err := sess.Drain(ctx, 0)
+	if err != nil || !done || len(recs) != 1 {
+		t.Fatalf("drain: %d records done=%v err=%v", len(recs), done, err)
+	}
+	if n, _ := recs[0].Tag("n"); n != 0 {
+		t.Fatalf("countdown result: %v", recs[0])
+	}
+	if d, ok := recs[0].Tag("done"); !ok || d != 1 {
+		t.Fatalf("countdown result missing <done>: %v", recs[0])
+	}
+}
+
+func TestNewServiceRegistersNetworks(t *testing.T) {
+	svc, err := newService(config{workers: 1, throttle: 4, level: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Shutdown()
+	var names []string
+	for _, n := range svc.Networks() {
+		names = append(names, n.Name())
+	}
+	want := []string{"fig1", "fig2", "fig3"}
+	if len(names) != len(want) {
+		t.Fatalf("networks: %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("networks: %v, want %v", names, want)
+		}
+	}
+}

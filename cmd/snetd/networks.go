@@ -1,0 +1,147 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/snet"
+	"repro/snet/lang"
+	"repro/snet/service"
+	"repro/sudoku"
+)
+
+// boardCodec is the wire codec of the sudoku networks: the "board" field
+// travels as the conventional 81-character single-line form ('.' or '0'
+// for empty cells); the "opts" field (the paper's bool[N,N,N] option cube)
+// is runtime-internal and elided from responses.
+type boardCodec struct{}
+
+func (boardCodec) Decode(w service.RecordJSON) (*snet.Record, error) {
+	r := snet.NewRecord()
+	for k, v := range w.Tags {
+		r.SetTag(k, v)
+	}
+	for k, v := range w.Fields {
+		if k == "board" {
+			b, err := sudoku.Parse(v)
+			if err != nil {
+				return nil, err
+			}
+			r.SetField("board", b)
+			continue
+		}
+		r.SetField(k, v)
+	}
+	return r, nil
+}
+
+func (boardCodec) Encode(r *snet.Record) service.RecordJSON {
+	c := r.Copy()
+	c.DeleteField("opts")
+	for _, k := range c.FieldNames() {
+		if v, _ := c.Field(k); v != nil {
+			if b, ok := v.(*sudoku.Board); ok {
+				c.SetField(k, boardString(b))
+			}
+		}
+	}
+	return service.GenericCodec{}.Encode(c)
+}
+
+// boardString renders a 9×9 board in the 81-character wire form; bigger
+// boards fall back to the multi-line rendering.
+func boardString(b *sudoku.Board) string {
+	N := b.N()
+	if N != 9 {
+		return b.String()
+	}
+	var sb strings.Builder
+	for i := 0; i < N; i++ {
+		for j := 0; j < N; j++ {
+			sb.WriteByte(byte('0' + b.Get(i, j)))
+		}
+	}
+	return sb.String()
+}
+
+// registerSudokuNets registers the three solver networks of Figures 1–3.
+func registerSudokuNets(svc *service.Service, opts service.Options, cfg config) {
+	mk := func(build func(sudoku.NetConfig) snet.Node) service.Builder {
+		return func(o service.Options) (snet.Node, error) {
+			return build(sudoku.NetConfig{
+				Pool:      o.Pool,
+				Throttle:  cfg.throttle,
+				ExitLevel: cfg.level,
+				Det:       cfg.det,
+			}), nil
+		}
+	}
+	svc.Register("fig1", "Fig. 1: computeOpts .. (solveOneLevel ** {<done>})",
+		opts, mk(sudoku.Fig1Net), boardCodec{})
+	svc.Register("fig2", "Fig. 2: (solveOneLevel !! <k>) ** {<done>} (full unfolding)",
+		opts, mk(sudoku.Fig2Net), boardCodec{})
+	svc.Register("fig3",
+		fmt.Sprintf("Fig. 3: throttled unfolding (m=%d, exit level %d, terminal solve)", cfg.throttle, cfg.level),
+		opts, mk(sudoku.Fig3Net), boardCodec{})
+}
+
+// demoRegistry binds the same built-in demonstration boxes as cmd/snetrun.
+func demoRegistry() *lang.Registry {
+	return lang.NewRegistry().
+		RegisterFunc("inc", func(args []any, out *snet.Emitter) error {
+			return out.Out(1, args[0].(int)+1)
+		}).
+		RegisterFunc("dec", func(args []any, out *snet.Emitter) error {
+			n := args[0].(int)
+			if n <= 0 {
+				return out.Out(2, 0, 1)
+			}
+			return out.Out(1, n-1)
+		}).
+		RegisterFunc("double", func(args []any, out *snet.Emitter) error {
+			return out.Out(1, args[0].(int)*2)
+		}).
+		RegisterFunc("split2", func(args []any, out *snet.Emitter) error {
+			if err := out.Out(1, args[0].(int)); err != nil {
+				return err
+			}
+			return out.Out(1, args[0].(int))
+		}).
+		RegisterFunc("echo", func(args []any, out *snet.Emitter) error {
+			return out.Out(1)
+		})
+}
+
+// registerLangNets parses a textual S-Net program and registers every net
+// it defines, bound against the demo box registry, under its own name.
+func registerLangNets(svc *service.Service, opts service.Options, path string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	prog, err := lang.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	if len(prog.Nets) == 0 {
+		return fmt.Errorf("no net definitions in %s", path)
+	}
+	reg := demoRegistry()
+	for _, decl := range prog.Nets {
+		name := decl.Name
+		if _, err := svc.Network(name); err == nil {
+			return fmt.Errorf("net %q in %s collides with an already registered network", name, path)
+		}
+		// Build once now to surface unbound boxes at startup, but let the
+		// builder rebuild per session so instances never share node state.
+		if _, err := lang.Build(prog, name, reg); err != nil {
+			return err
+		}
+		svc.Register(name, "from "+path, opts,
+			func(service.Options) (snet.Node, error) {
+				return lang.Build(prog, name, reg)
+			}, nil)
+	}
+	return nil
+}

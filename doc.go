@@ -6,11 +6,12 @@
 //
 // Public entry points:
 //
-//   - snet       — the coordination runtime (records, boxes, combinators)
-//   - snet/lang  — the textual S-Net language
-//   - sac        — arrays and with-loops
-//   - sac/lang   — the Core SaC interpreter
-//   - sudoku     — the case study
+//   - snet         — the coordination runtime (records, boxes, combinators)
+//   - snet/lang    — the textual S-Net language
+//   - snet/service — networks served to concurrent clients (see cmd/snetd)
+//   - sac          — arrays and with-loops
+//   - sac/lang     — the Core SaC interpreter
+//   - sudoku       — the case study
 //
 // See README.md for an overview, DESIGN.md for the system inventory and
 // experiment index, and EXPERIMENTS.md for paper-vs-measured results.

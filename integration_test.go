@@ -5,6 +5,7 @@ package repro_test
 import (
 	"context"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/sac"
@@ -87,8 +88,8 @@ func TestPublicAPISacInterpreter(t *testing.T) {
 
 // Public coordination API: combinators, determinism, tracing, stats.
 func TestPublicAPICoordination(t *testing.T) {
-	var traced int
-	tracer := snet.TracerFunc(func(node, dir string, rec *snet.Record) { traced++ })
+	var traced atomic.Int64 // Tracers must be safe for concurrent use
+	tracer := snet.TracerFunc(func(node, dir string, rec *snet.Record) { traced.Add(1) })
 	dec := snet.NewBox("dec", snet.MustParseSignature("(<n>) -> (<n>) | (<n>,<done>)"),
 		func(args []any, out *snet.Emitter) error {
 			n := args[0].(int)
@@ -112,7 +113,7 @@ func TestPublicAPICoordination(t *testing.T) {
 			t.Fatalf("det order broken: %v", out)
 		}
 	}
-	if traced == 0 {
+	if traced.Load() == 0 {
 		t.Fatal("tracer saw nothing")
 	}
 }

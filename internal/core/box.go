@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -73,6 +74,16 @@ func (e *Emitter) Out(variant int, vals ...any) error {
 
 // Emitted reports how many records this invocation has emitted so far.
 func (e *Emitter) Emitted() int { return e.emitted }
+
+// Done exposes the run's cancellation signal.  Box functions are stateless
+// user code with no context of their own; one that blocks (I/O, a long
+// solve) must select on Done and return ErrCancelled so session release
+// and service shutdown cannot leak its goroutine.
+func (e *Emitter) Done() <-chan struct{} { return e.env.ctx.Done() }
+
+// Context returns the run's context, for box bodies that call
+// context-aware code (e.g. sched.Pool loops).
+func (e *Emitter) Context() context.Context { return e.env.ctx }
 
 // boxNode wraps a BoxFunc as a network component.
 type boxNode struct {

@@ -3,7 +3,7 @@ package core
 import (
 	"context"
 	"errors"
-	"sync"
+	"sync/atomic"
 )
 
 // Handle is a running network: a SISO pair of streams plus run-wide
@@ -18,9 +18,19 @@ type Handle struct {
 	outRec chan *Record
 	done   chan struct{}
 
-	mu     sync.Mutex
-	closed bool
+	// sendState guards the input side without ever blocking a sender on a
+	// lock: the low bits count in-flight sends, closedBit marks Close.
+	// Senders enter by incrementing (refused once closedBit is set), so
+	// close(in) happens exactly once — by Close when no send is in flight,
+	// or by the last in-flight sender to leave.  This makes Send/Close
+	// safe from concurrent goroutines (the service layer's clients) while
+	// keeping both non-blocking apart from the send itself, which remains
+	// cancellable through the caller's context.
+	sendState atomic.Int64
 }
+
+// closedBit marks the input as closed in Handle.sendState.
+const closedBit = int64(1) << 62
 
 // ErrClosed is returned by Send after Close.
 var ErrClosed = errors.New("core: network input closed")
@@ -70,30 +80,59 @@ func Start(ctx context.Context, root Node, opts ...Option) *Handle {
 }
 
 // Send injects a record into the network, blocking on backpressure.  It
-// fails with ErrClosed after Close and with the context error after
-// cancellation.
+// fails with ErrClosed after Close and with ErrCancelled after the run is
+// cancelled.
 func (h *Handle) Send(r *Record) error {
-	h.mu.Lock()
-	if h.closed {
-		h.mu.Unlock()
-		return ErrClosed
+	return h.SendCtx(context.Background(), r)
+}
+
+// SendCtx is Send with an additional caller context: it unblocks with the
+// caller's context error if ctx is cancelled while waiting on backpressure,
+// without affecting the run.  A cancelled *run* reports ErrCancelled, so
+// callers can tell "my deadline passed" from "the network is gone".  It is
+// the building block for serving one network to many independent clients,
+// each with its own deadline.
+func (h *Handle) SendCtx(ctx context.Context, r *Record) error {
+	for {
+		s := h.sendState.Load()
+		if s&closedBit != 0 {
+			return ErrClosed
+		}
+		if h.sendState.CompareAndSwap(s, s+1) {
+			break
+		}
 	}
-	h.mu.Unlock()
+	defer func() {
+		if h.sendState.Add(-1) == closedBit {
+			close(h.in) // Close arrived mid-send; last sender out closes
+		}
+	}()
 	select {
 	case h.in <- item{rec: r}:
 		return nil
 	case <-h.env.ctx.Done():
-		return h.env.ctx.Err()
+		return ErrCancelled
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
-// Close signals end-of-input.  It is idempotent.
+// Close signals end-of-input.  It is idempotent, never blocks, and is safe
+// against concurrent senders: subsequent sends fail with ErrClosed, and the
+// input stream is closed as soon as any in-flight sends have finished
+// (records they were already committed to deliver still enter the network).
 func (h *Handle) Close() {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if !h.closed {
-		h.closed = true
-		close(h.in)
+	for {
+		s := h.sendState.Load()
+		if s&closedBit != 0 {
+			return
+		}
+		if h.sendState.CompareAndSwap(s, s|closedBit) {
+			if s == 0 {
+				close(h.in) // no send in flight
+			}
+			return
+		}
 	}
 }
 

@@ -21,6 +21,36 @@ func newStats() *Stats {
 	return &Stats{counters: map[string]int64{}, maxima: map[string]int64{}}
 }
 
+// NewStats returns an empty, usable Stats collector.  The runtime allocates
+// its own per-run collector in Start; NewStats exists for aggregators (such
+// as the session service) that fold many runs' statistics into one.
+func NewStats() *Stats { return newStats() }
+
+// Merge folds another collector's snapshot into s: counters are added,
+// maxima are maximised.  Both collectors remain usable.
+func (s *Stats) Merge(o *Stats) {
+	o.mu.Lock()
+	counters := make(map[string]int64, len(o.counters))
+	for k, v := range o.counters {
+		counters[k] = v
+	}
+	maxima := make(map[string]int64, len(o.maxima))
+	for k, v := range o.maxima {
+		maxima[k] = v
+	}
+	o.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range counters {
+		s.counters[k] += v
+	}
+	for k, v := range maxima {
+		if v > s.maxima[k] {
+			s.maxima[k] = v
+		}
+	}
+}
+
 // Add increments a counter and returns the new value.
 func (s *Stats) Add(key string, delta int64) int64 {
 	s.mu.Lock()

@@ -1,0 +1,64 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/snet"
+)
+
+// RecordJSON is the wire form of an S-Net record: tags are integers, fields
+// are strings.  Field values are opaque to the coordination layer (§4 of
+// the paper), so a network whose boxes need richer field types registers a
+// Codec that knows how to materialise them — see the sudoku board codec in
+// cmd/snetd for the case-study example.
+type RecordJSON struct {
+	Tags   map[string]int    `json:"tags,omitempty"`
+	Fields map[string]string `json:"fields,omitempty"`
+}
+
+// Codec translates between wire records and runtime records for one
+// network.  Implementations must be safe for concurrent use.
+type Codec interface {
+	// Decode materialises a wire record into a runtime record.
+	Decode(RecordJSON) (*snet.Record, error)
+	// Encode renders a runtime record for the wire.
+	Encode(*snet.Record) RecordJSON
+}
+
+// GenericCodec maps tags one-to-one and treats every field as a string —
+// exactly the record-literal model of cmd/snetrun.  It is the default for
+// networks registered without a codec, including textual snet/lang
+// networks over the demo boxes.
+type GenericCodec struct{}
+
+// Decode copies tags and string fields into a fresh record.
+func (GenericCodec) Decode(w RecordJSON) (*snet.Record, error) {
+	r := snet.NewRecord()
+	for k, v := range w.Tags {
+		r.SetTag(k, v)
+	}
+	for k, v := range w.Fields {
+		r.SetField(k, v)
+	}
+	return r, nil
+}
+
+// Encode copies tags and renders every field value with fmt.Sprint.
+func (GenericCodec) Encode(r *snet.Record) RecordJSON {
+	w := RecordJSON{}
+	for _, k := range r.TagNames() {
+		if w.Tags == nil {
+			w.Tags = map[string]int{}
+		}
+		v, _ := r.Tag(k)
+		w.Tags[k] = v
+	}
+	for _, k := range r.FieldNames() {
+		if w.Fields == nil {
+			w.Fields = map[string]string{}
+		}
+		v, _ := r.Field(k)
+		w.Fields[k] = fmt.Sprint(v)
+	}
+	return w
+}

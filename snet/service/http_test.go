@@ -1,0 +1,198 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := New()
+	svc.Register("inc", "increment <n>", Options{BufferSize: 4, MaxSessions: 128}, incNet, nil)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() { ts.Close(); svc.Shutdown() })
+	return svc, ts
+}
+
+// call issues a JSON request and decodes the JSON response into out.
+func call(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPSessionLifecycle(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var opened struct {
+		Session string `json:"session"`
+	}
+	if code := call(t, "POST", ts.URL+"/api/sessions", map[string]string{"net": "inc"}, &opened); code != http.StatusCreated {
+		t.Fatalf("open: status %d", code)
+	}
+	recs := []RecordJSON{
+		{Tags: map[string]int{"n": 1}},
+		{Tags: map[string]int{"n": 2}, Fields: map[string]string{"who": "client"}},
+	}
+	var fed struct {
+		Accepted int `json:"accepted"`
+	}
+	url := ts.URL + "/api/sessions/" + opened.Session
+	if code := call(t, "POST", url+"/records", map[string]any{"records": recs, "close": true}, &fed); code != http.StatusOK {
+		t.Fatalf("records: status %d", code)
+	}
+	if fed.Accepted != 2 {
+		t.Fatalf("accepted %d", fed.Accepted)
+	}
+	var res struct {
+		Records []RecordJSON `json:"records"`
+		Done    bool         `json:"done"`
+	}
+	if code := call(t, "GET", url+"/results?wait=5s", nil, &res); code != http.StatusOK {
+		t.Fatalf("results: status %d", code)
+	}
+	if !res.Done || len(res.Records) != 2 {
+		t.Fatalf("results: %+v", res)
+	}
+	seen := map[int]RecordJSON{}
+	for _, r := range res.Records {
+		seen[r.Tags["n"]] = r
+	}
+	if _, ok := seen[2]; !ok {
+		t.Fatalf("missing <n>=2: %+v", res.Records)
+	}
+	if got := seen[3].Fields["who"]; got != "client" {
+		t.Fatalf("flow inheritance lost the field: %+v", seen[3])
+	}
+	if code := call(t, "DELETE", url, nil, nil); code != http.StatusOK {
+		t.Fatalf("release: status %d", code)
+	}
+	if code := call(t, "GET", url+"/results", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("results after release: status %d, want 404", code)
+	}
+}
+
+func TestHTTPRunAndStats(t *testing.T) {
+	_, ts := newTestServer(t)
+	var res struct {
+		Records []RecordJSON `json:"records"`
+		Done    bool         `json:"done"`
+		Ms      float64      `json:"ms"`
+	}
+	body := map[string]any{
+		"net":     "inc",
+		"records": []RecordJSON{{Tags: map[string]int{"n": 41}}},
+		"wait":    "5s",
+	}
+	if code := call(t, "POST", ts.URL+"/api/run", body, &res); code != http.StatusOK {
+		t.Fatalf("run: status %d", code)
+	}
+	if !res.Done || len(res.Records) != 1 || res.Records[0].Tags["n"] != 42 {
+		t.Fatalf("run result: %+v", res)
+	}
+	var stats map[string]int64
+	if code := call(t, "GET", ts.URL+"/api/stats", nil, &stats); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	for _, key := range []string{
+		"net.inc.run.count", "net.inc.records.in", "net.inc.records.out",
+		"net.inc.latency.run_ns", "run.inc.box.inc.calls",
+	} {
+		if stats[key] == 0 {
+			t.Fatalf("stats[%q] = 0; snapshot: %v", key, stats)
+		}
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code := call(t, "POST", ts.URL+"/api/sessions", map[string]string{"net": "nope"}, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown net: status %d", code)
+	}
+	if code := call(t, "GET", ts.URL+"/api/sessions/s999/results", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown session: status %d", code)
+	}
+	var health struct {
+		OK bool `json:"ok"`
+	}
+	if code := call(t, "GET", ts.URL+"/api/healthz", nil, &health); code != http.StatusOK || !health.OK {
+		t.Fatalf("healthz: %d %+v", code, health)
+	}
+}
+
+func TestHTTPSessionLimit(t *testing.T) {
+	svc := New()
+	svc.Register("inc", "", Options{MaxSessions: 1}, incNet, nil)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer svc.Shutdown()
+	var opened struct {
+		Session string `json:"session"`
+	}
+	if code := call(t, "POST", ts.URL+"/api/sessions", map[string]string{"net": "inc"}, &opened); code != http.StatusCreated {
+		t.Fatalf("open: %d", code)
+	}
+	if code := call(t, "POST", ts.URL+"/api/sessions", map[string]string{"net": "inc"}, nil); code != http.StatusTooManyRequests {
+		t.Fatalf("over limit: status %d, want 429", code)
+	}
+}
+
+// TestHTTPConcurrentClients exercises the wire protocol from many clients
+// at once against one shared network definition.
+func TestHTTPConcurrentClients(t *testing.T) {
+	_, ts := newTestServer(t)
+	const clients = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var res struct {
+				Records []RecordJSON `json:"records"`
+				Done    bool         `json:"done"`
+			}
+			body := map[string]any{
+				"net":     "inc",
+				"records": []RecordJSON{{Tags: map[string]int{"n": c}}},
+				"wait":    "10s",
+			}
+			if code := call(t, "POST", ts.URL+"/api/run", body, &res); code != http.StatusOK {
+				errs <- fmt.Errorf("client %d: status %d", c, code)
+				return
+			}
+			if !res.Done || len(res.Records) != 1 || res.Records[0].Tags["n"] != c+1 {
+				errs <- fmt.Errorf("client %d: %+v", c, res)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

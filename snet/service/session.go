@@ -1,0 +1,216 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/snet"
+)
+
+// Session is one client's run of a registered network: a started network
+// instance plus lifecycle state.  The lifecycle is
+//
+//	Open → Send* → CloseInput → Recv* (until done) → Release
+//
+// Release is mandatory and idempotent; it cancels the run context, which
+// unwinds every node goroutine of the instance (the runtime's
+// cancellation-aware send/recv/drain discipline makes this leak-free even
+// mid-stream).  Send and Recv additionally honour the caller's context, so
+// a slow network exerts backpressure on the client without wedging it.
+//
+// A Session is safe for concurrent use, including racing Send/CloseInput/
+// Release from independent HTTP requests: cancellation unblocks in-flight
+// sends, and every Release call returns only after the instance has wound
+// down.
+type Session struct {
+	id     string
+	net    *Network
+	svc    *Service
+	handle *snet.Handle
+	cancel context.CancelFunc
+	opened time.Time
+
+	mu       sync.Mutex
+	released bool
+	done     chan struct{} // closed once Release has fully wound down
+	sent     int64
+	received int64
+
+	lastActive atomic.Int64 // unix nanos of the last Send/Recv (or Open)
+	inflight   atomic.Int64 // Send/Recv calls currently blocked in this session
+}
+
+// touch records client activity for the idle reaper.
+func (s *Session) touch() { s.lastActive.Store(time.Now().UnixNano()) }
+
+// enter/exit bracket a blocking client call: a session with a call in
+// flight is active by definition (a client is connected and waiting on
+// backpressure or results), however long the call blocks, and must not be
+// reaped out from under it.
+func (s *Session) enter() { s.inflight.Add(1) }
+func (s *Session) exit()  { s.inflight.Add(-1); s.touch() }
+
+// reapable reports whether the session has been idle — no call in flight,
+// no activity — for longer than limit.
+func (s *Session) reapable(limit time.Duration) bool {
+	if s.inflight.Load() > 0 {
+		return false
+	}
+	return time.Duration(time.Now().UnixNano()-s.lastActive.Load()) > limit
+}
+
+// Open instantiates the named network and registers a new session for it.
+// The session slot is claimed against the network's MaxSessions cap before
+// the instance is started.
+func (s *Service) Open(netName string) (*Session, error) {
+	n, err := s.Network(netName)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.down {
+		s.mu.Unlock()
+		return nil, ErrShutdown
+	}
+	s.opening.Add(1) // under the lock, after the down check
+	defer s.opening.Done()
+	s.seq++
+	id := fmt.Sprintf("s%d", s.seq)
+	s.mu.Unlock()
+
+	if err := n.acquire(); err != nil {
+		return nil, err
+	}
+	root, err := n.build(n.opts)
+	if err != nil {
+		n.releaseSlot()
+		n.svcStat.Add("sessions.build_errors", 1)
+		return nil, fmt.Errorf("%w: network %q: %v", ErrBuild, netName, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	sess := &Session{
+		id:     id,
+		net:    n,
+		svc:    s,
+		handle: snet.Start(ctx, root, n.opts.runOptions()...),
+		cancel: cancel,
+		opened: time.Now(),
+		done:   make(chan struct{}),
+	}
+	sess.touch()
+	s.mu.Lock()
+	if s.down { // raced with Shutdown: unwind immediately
+		s.mu.Unlock()
+		sess.Release()
+		return nil, ErrShutdown
+	}
+	s.sessions[id] = sess
+	s.startReaperLocked()
+	s.mu.Unlock()
+	return sess, nil
+}
+
+// ID returns the session identifier used by the HTTP API.
+func (s *Session) ID() string { return s.id }
+
+// Network returns the network definition this session runs.
+func (s *Session) Network() *Network { return s.net }
+
+// Handle exposes the underlying running network (for its Stats).
+func (s *Session) Handle() *snet.Handle { return s.handle }
+
+// Counts reports how many records have been accepted and delivered.
+func (s *Session) Counts() (sent, received int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sent, s.received
+}
+
+// Send streams one record into the session's network instance.  It blocks
+// on backpressure — the instance's stream buffers are bounded — until the
+// record is accepted, the caller's ctx is cancelled, or the session is
+// released.
+func (s *Session) Send(ctx context.Context, r *snet.Record) error {
+	s.enter()
+	defer s.exit()
+	if err := s.handle.SendCtx(ctx, r); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.sent++
+	s.mu.Unlock()
+	s.net.svcStat.Add("records.in", 1)
+	return nil
+}
+
+// CloseInput signals end-of-input: once in-flight records drain, the
+// network instance winds down and Recv reports done.  Idempotent.
+func (s *Session) CloseInput() { s.handle.Close() }
+
+// Recv delivers the next output record.  done reports that the instance
+// has drained (after CloseInput) or was released; err is the caller's
+// context error on timeout/cancellation.
+func (s *Session) Recv(ctx context.Context) (rec *snet.Record, done bool, err error) {
+	s.enter()
+	defer s.exit()
+	select {
+	case r, ok := <-s.handle.Out():
+		if !ok {
+			return nil, true, nil
+		}
+		s.mu.Lock()
+		s.received++
+		s.mu.Unlock()
+		s.net.svcStat.Add("records.out", 1)
+		return r, false, nil
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}
+
+// Drain collects up to max output records (max <= 0: unlimited), returning
+// early when the instance winds down or ctx expires.  On expiry the
+// already-collected batch is returned together with the context error so
+// the caller can decide what to do with both.  Delivery is at-most-once: a
+// record handed out in a batch has been consumed from the stream even if
+// the caller never processes it (e.g. an HTTP client that disconnected).
+func (s *Session) Drain(ctx context.Context, max int) (recs []*snet.Record, done bool, err error) {
+	for max <= 0 || len(recs) < max {
+		rec, fin, rerr := s.Recv(ctx)
+		if rerr != nil {
+			return recs, false, rerr
+		}
+		if fin {
+			return recs, true, nil
+		}
+		recs = append(recs, rec)
+	}
+	return recs, false, nil
+}
+
+// Release ends the session: the run context is cancelled (dropping any
+// in-flight records), the instance's goroutines unwind, and the session
+// slot and statistics are returned to the network.  Idempotent; every
+// caller — including losers of a release race — returns only after the
+// wind-down has completed, so Shutdown's leak-free guarantee holds.
+func (s *Session) Release() {
+	s.mu.Lock()
+	if s.released {
+		s.mu.Unlock()
+		<-s.done
+		return
+	}
+	s.released = true
+	s.mu.Unlock()
+
+	s.cancel()
+	s.handle.Wait()
+	s.svc.mu.Lock()
+	delete(s.svc.sessions, s.id)
+	s.svc.mu.Unlock()
+	s.net.release(s)
+	close(s.done)
+}

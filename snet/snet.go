@@ -85,6 +85,7 @@ var (
 	Field      = core.Field
 	Tag        = core.Tag
 	NewVariant = core.NewVariant
+	NewStats   = core.NewStats
 )
 
 // Parsers for the textual micro-forms.
