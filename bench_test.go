@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/sac"
 	saclang "repro/sac/lang"
@@ -26,9 +27,9 @@ func fixed(b *testing.B, name string) *sudoku.Board {
 	return p
 }
 
-func solveNet(b *testing.B, net snet.Node, puzzle *sudoku.Board) *snet.Stats {
+func solveNet(b *testing.B, net snet.Node, puzzle *sudoku.Board, opts ...snet.Option) *snet.Stats {
 	b.Helper()
-	board, stats, err := sudoku.SolveWithNet(context.Background(), net, puzzle)
+	board, stats, err := sudoku.SolveWithNet(context.Background(), net, puzzle, opts...)
 	if err != nil || board == nil || !board.IsSolved() {
 		b.Fatalf("network solve failed: %v", err)
 	}
@@ -223,6 +224,68 @@ func BenchmarkE9RuntimeMicro(b *testing.B) {
 				out, _, err := snet.RunAll(context.Background(), mk(), inputs)
 				if err != nil || len(out) != n {
 					b.Fatal("micro failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE11BoxEngine — the concurrent box engine: sequential invocation
+// (W=1) vs W-worker order-preserving invocation on the sudoku networks of
+// Figs. 1–3 (hard 9×9 instance).  CPU-bound boxes scale with W only up to
+// the core count; see E12 for the latency-bound regime.
+func BenchmarkE11BoxEngine(b *testing.B) {
+	puzzle := fixed(b, "hard")
+	nets := []struct {
+		name string
+		mk   func() snet.Node
+	}{
+		{"fig1", func() snet.Node { return sudoku.Fig1Net(sudoku.NetConfig{Pool: pool1}) }},
+		{"fig2", func() snet.Node { return sudoku.Fig2Net(sudoku.NetConfig{Pool: pool1}) }},
+		{"fig3", func() snet.Node {
+			return sudoku.Fig3Net(sudoku.NetConfig{Pool: pool1, Throttle: 4, ExitLevel: 40})
+		}},
+	}
+	for _, net := range nets {
+		for _, W := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/W%d", net.name, W), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					solveNet(b, net.mk(), puzzle, snet.WithBoxWorkers(W))
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE12LatencyBoundBox — a box dominated by per-invocation latency
+// (simulated I/O, 200µs per record): the engine overlaps the waits, so
+// throughput scales with W even on a single core, while the reorder stage
+// keeps the output stream in input order.
+func BenchmarkE12LatencyBoundBox(b *testing.B) {
+	const n, delay = 64, 200 * time.Microsecond
+	mkNet := func() snet.Node {
+		return snet.NewBox("io", snet.MustParseSignature("(<n>) -> (<n>)"),
+			func(args []any, out *snet.Emitter) error {
+				time.Sleep(delay)
+				return out.Out(1, args[0].(int))
+			})
+	}
+	inputs := make([]*snet.Record, n)
+	for i := range inputs {
+		inputs[i] = snet.NewRecord().SetTag("n", i)
+	}
+	for _, W := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("W%d", W), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, _, err := snet.RunAll(context.Background(), mkNet(), inputs,
+					snet.WithBoxWorkers(W))
+				if err != nil || len(out) != n {
+					b.Fatalf("out=%d err=%v", len(out), err)
+				}
+				for j, r := range out {
+					if v, _ := r.Tag("n"); v != j {
+						b.Fatalf("order broken at %d: %v", j, out[j])
+					}
 				}
 			}
 		})

@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	snetd [-addr :8080] [-workers w] [-buffer n] [-max-sessions n]
-//	      [-idle-timeout d] [-throttle m] [-level L] [-det] [-snet file.snet]
+//	snetd [-addr :8080] [-workers w] [-box-workers W] [-buffer n]
+//	      [-max-sessions n] [-idle-timeout d] [-throttle m] [-level L]
+//	      [-det] [-snet file.snet]
 //	snetd -demo 50       # in-process load demo: 50 concurrent sessions
 //
 // Wire protocol (see snet/service):
@@ -42,6 +43,7 @@ import (
 // config collects the deployment knobs shared by serve and demo mode.
 type config struct {
 	workers     int           // with-loop pool width inside the boxes
+	boxWorkers  int           // concurrent invocations per box node (0: GOMAXPROCS)
 	buffer      int           // stream buffer capacity per network instance
 	maxSessions int           // per-network concurrent session cap
 	idleTimeout time.Duration // abandoned-session reaping threshold
@@ -57,6 +59,7 @@ func newService(cfg config) (*service.Service, error) {
 	svc := service.New()
 	opts := service.Options{
 		BufferSize:  cfg.buffer,
+		BoxWorkers:  cfg.boxWorkers,
 		MaxSessions: cfg.maxSessions,
 		IdleTimeout: cfg.idleTimeout,
 		Pool:        sac.NewPool(cfg.workers),
@@ -77,6 +80,7 @@ func main() {
 		cfg  config
 	)
 	flag.IntVar(&cfg.workers, "workers", 1, "data-parallel with-loop workers per box ('SaC threads')")
+	flag.IntVar(&cfg.boxWorkers, "box-workers", 0, "concurrent invocations per box node, order-preserving (0: GOMAXPROCS, 1: sequential)")
 	flag.IntVar(&cfg.buffer, "buffer", 32, "stream buffer capacity per network instance")
 	flag.IntVar(&cfg.maxSessions, "max-sessions", 0, "concurrent sessions per network (0: default 1024, <0: unlimited)")
 	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", 0, "release sessions idle this long (0: default 10m, <0: never)")

@@ -11,13 +11,14 @@ import (
 
 // TestDemo50ConcurrentSessions is the service acceptance scenario: 50
 // concurrent HTTP sessions solving sudoku records through the shared
-// networks, verified solutions, and non-zero /stats counters.
+// networks (each running the concurrent box engine at W=4), verified
+// solutions, and non-zero /stats counters.
 func TestDemo50ConcurrentSessions(t *testing.T) {
 	n := 50
 	if testing.Short() {
 		n = 12
 	}
-	svc, err := newService(config{workers: 1, buffer: 8, throttle: 4, level: 40})
+	svc, err := newService(config{workers: 1, boxWorkers: 4, buffer: 8, throttle: 4, level: 40})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,6 +40,11 @@ type Emitter struct {
 // Excess labels of the input record are attached by flow inheritance unless
 // the output already carries them.
 func (e *Emitter) Out(variant int, vals ...any) error {
+	if e.stopped {
+		// The run is gone; nothing emitted from here on can reach the
+		// output stream, so stop counting and fail fast.
+		return ErrCancelled
+	}
 	if variant < 1 || variant > len(e.box.boxSig.Out) {
 		return fmt.Errorf("core: box %s: snet_out variant %d out of range 1..%d",
 			e.box.label, variant, len(e.box.boxSig.Out))
@@ -87,14 +92,26 @@ func (e *Emitter) Context() context.Context { return e.env.ctx }
 
 // boxNode wraps a BoxFunc as a network component.
 type boxNode struct {
-	label  string
-	boxSig *BoxSignature
-	fn     BoxFunc
+	label   string
+	boxSig  *BoxSignature
+	fn      BoxFunc
+	workers int // fixed invocation width; 0 inherits the run's WithBoxWorkers
 }
 
 // NewBox declares a box with the given name, signature and function —
-// the S-Net `box name (in) -> (out) | ...` declaration.
+// the S-Net `box name (in) -> (out) | ...` declaration.  Its concurrency
+// width is the run's default (WithBoxWorkers, GOMAXPROCS if unset).
 func NewBox(name string, sig *BoxSignature, fn BoxFunc) Node {
+	return NewBoxConcurrent(name, sig, fn, 0)
+}
+
+// NewBoxConcurrent is NewBox with a fixed per-box concurrency width: the
+// node runs up to `workers` invocations of fn at a time regardless of the
+// run's WithBoxWorkers setting.  workers == 0 inherits the run default;
+// workers == 1 pins the box to strictly sequential invocation (for box
+// functions whose statelessness the author does not trust).  Output order
+// is preserved at any width (see boxengine.go).
+func NewBoxConcurrent(name string, sig *BoxSignature, fn BoxFunc, workers int) Node {
 	if name == "" {
 		name = autoName("box")
 	}
@@ -104,7 +121,10 @@ func NewBox(name string, sig *BoxSignature, fn BoxFunc) Node {
 	if fn == nil {
 		panic("core: NewBox: nil box function")
 	}
-	return &boxNode{label: name, boxSig: sig, fn: fn}
+	if workers < 0 {
+		workers = 0
+	}
+	return &boxNode{label: name, boxSig: sig, fn: fn, workers: workers}
 }
 
 func (b *boxNode) name() string   { return b.label }
@@ -114,10 +134,28 @@ func (b *boxNode) sig(*checker) (RecType, RecType) {
 	return b.boxSig.InType(), b.boxSig.OutType()
 }
 
+// width resolves the node's effective invocation width for one run.
+func (b *boxNode) width(env *runEnv) int {
+	w := b.workers
+	if w == 0 {
+		w = env.boxWorkers
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 func (b *boxNode) run(env *runEnv, in <-chan item, out chan<- item) {
+	if w := b.width(env); w > 1 {
+		b.runConcurrent(env, in, out, w)
+		return
+	}
 	defer close(out)
 	env.stats.Add("box."+b.label+".instances", 1)
+	env.stats.SetMax("box."+b.label+".concurrency", 1)
 	consumed := NewVariant(b.boxSig.In...)
+	invoked := false
 	for {
 		it, ok := recv(env, in)
 		if !ok {
@@ -125,6 +163,7 @@ func (b *boxNode) run(env *runEnv, in <-chan item, out chan<- item) {
 		}
 		if it.mk != nil {
 			if !send(env, out, it) {
+				drainTail(env, in)
 				return
 			}
 			continue
@@ -138,13 +177,36 @@ func (b *boxNode) run(env *runEnv, in <-chan item, out chan<- item) {
 			env.stats.Add("box."+b.label+".rejected", 1)
 			continue
 		}
+		if !invoked {
+			// The observed in-flight high-water mark is 1 by construction
+			// here; record it so the key exists at any width.
+			env.stats.SetMax("box."+b.label+".inflight", 1)
+			invoked = true
+		}
 		em := &Emitter{env: env, out: out, box: b, src: rec, consumed: consumed}
 		b.invoke(env, args, em)
-		env.stats.Add("box."+b.label+".calls", 1)
+		b.account(env, em)
 		if em.stopped || ctxDone(env.ctx) {
+			drainTail(env, in)
 			return
 		}
 	}
+}
+
+// account settles one finished invocation's counters.  Completed
+// invocations count under "box.<name>.calls" and their emissions under
+// "box.<name>.emitted"; invocations cut short by run cancellation count
+// under "box.<name>.cancelled" instead, so per-box counters reflect only
+// records that actually reached the box's output stream.
+func (b *boxNode) account(env *runEnv, em *Emitter) {
+	if em.emitted > 0 {
+		env.stats.Add("box."+b.label+".emitted", int64(em.emitted))
+	}
+	if em.stopped {
+		env.stats.Add("box."+b.label+".cancelled", 1)
+		return
+	}
+	env.stats.Add("box."+b.label+".calls", 1)
 }
 
 // invoke runs the box function with panic isolation: a panicking box loses

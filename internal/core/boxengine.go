@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the concurrent box execution engine.  Box functions are
+// stateless by contract (§4: "it is the concern of the box implementation
+// to exploit concurrency internally, and of S-Net to exploit it between
+// boxes"), so one box node may run many invocations at a time.  What the
+// engine must preserve is the stream abstraction around that concurrency:
+//
+//   - Order: the output stream must be indistinguishable from sequential
+//     invocation.  Every accepted input is assigned a slot in a FIFO
+//     reorder queue; invocation i's emissions are released downstream
+//     strictly before invocation i+1's, whatever order the invocations
+//     finish in.  Deterministic combinators fed by the box therefore see
+//     exactly the W=1 interleaving.
+//   - Marker barriers: a sort record ("marker") of the deterministic-merge
+//     protocol occupies its own slot in the reorder queue, so it is
+//     forwarded only after every invocation dispatched before it has
+//     flushed, and before anything dispatched after it — in-flight
+//     invocations never leak emissions across a marker.
+//   - Panic isolation: an invocation that panics loses only its own
+//     record; its slot closes and the stream continues (invoke recovers).
+//   - Backpressure: emission buffers have the run's stream capacity; a
+//     fast invocation far from the head of the queue blocks on its own
+//     buffer rather than ballooning memory.
+//
+// The engine activates when a box's effective width (NewBoxConcurrent, or
+// the run's WithBoxWorkers default) exceeds 1; boxNode.run keeps a
+// zero-overhead sequential path for width 1.
+
+// boxSlot is one slot of the reorder queue: either a forwarded marker or
+// the emission buffer of one invocation (closed when it returns).  The
+// worker publishes the invocation's emitter just before closing emit, so
+// the releaser — the only party that knows which emissions actually
+// reached the output stream — can settle the invocation's counters.
+type boxSlot struct {
+	mk   *marker
+	emit stream
+	em   *Emitter // set by the worker before close(emit)
+}
+
+// boxCall is one dispatched invocation.
+type boxCall struct {
+	rec  *Record
+	args []any
+	slot *boxSlot
+}
+
+func (b *boxNode) runConcurrent(env *runEnv, in <-chan item, out chan<- item, width int) {
+	defer close(out)
+	env.stats.Add("box."+b.label+".instances", 1)
+	env.stats.SetMax("box."+b.label+".concurrency", int64(width))
+	consumed := NewVariant(b.boxSig.In...)
+
+	var (
+		inflight atomic.Int64 // invocations currently running
+		wg       sync.WaitGroup
+	)
+	// Reorder queue capacity beyond the worker count only buys queued-but-
+	// undispatched slots; width+1 keeps the dispatcher just ahead of the
+	// workers without unbounded marker pile-up.
+	slots := make(chan *boxSlot, width+1)
+	calls := make(chan *boxCall)
+
+	worker := func() {
+		defer wg.Done()
+		for c := range calls {
+			env.stats.SetMax("box."+b.label+".inflight", inflight.Add(1))
+			em := &Emitter{env: env, out: c.slot.emit, box: b, src: c.rec, consumed: consumed}
+			b.invoke(env, c.args, em)
+			inflight.Add(-1)
+			c.slot.em = em // published by the close below
+			close(c.slot.emit)
+		}
+	}
+
+	// The releaser walks the reorder queue in FIFO order, streaming each
+	// slot's emissions (or marker) to out.  Head-of-queue emissions stream
+	// through as they are produced; later invocations buffer until they
+	// become the head.  It also settles the per-invocation counters: an
+	// invocation counts under "calls"/"emitted" only for what its slot
+	// actually delivered downstream; slots overtaken by cancellation —
+	// including invocations still buffered or never dispatched — count
+	// under "cancelled", matching the sequential path's contract.
+	released := make(chan struct{})
+	go func() {
+		defer close(released)
+		aborted := false
+		for s := range slots {
+			if s.mk != nil {
+				if !aborted && !send(env, out, item{mk: s.mk}) {
+					aborted = true
+				}
+				continue
+			}
+			delivered, completed := 0, false
+			for !aborted {
+				select {
+				case it, ok := <-s.emit:
+					if !ok {
+						completed = s.em != nil && !s.em.stopped
+						break
+					}
+					if send(env, out, it) {
+						delivered++
+						continue
+					}
+					aborted = true
+				case <-env.ctx.Done():
+					aborted = true
+				}
+				break
+			}
+			if delivered > 0 {
+				env.stats.Add("box."+b.label+".emitted", int64(delivered))
+			}
+			if completed {
+				env.stats.Add("box."+b.label+".calls", 1)
+			} else {
+				env.stats.Add("box."+b.label+".cancelled", 1)
+			}
+		}
+	}()
+
+	// Dispatch loop (the node's own goroutine).  Workers spawn lazily, one
+	// per observed need up to width, so a box that happens to see only
+	// sequential traffic costs a single extra goroutine.
+	enqueue := func(s *boxSlot) bool {
+		select {
+		case slots <- s:
+			return true
+		case <-env.ctx.Done():
+			return false
+		}
+	}
+	spawned := 0
+	dispatch := func(c *boxCall) bool {
+		if spawned < width {
+			select {
+			case calls <- c: // an idle worker was already waiting
+				return true
+			default:
+				spawned++
+				wg.Add(1)
+				go worker()
+			}
+		}
+		select {
+		case calls <- c:
+			return true
+		case <-env.ctx.Done():
+			return false
+		}
+	}
+	for {
+		it, ok := recv(env, in)
+		if !ok {
+			break
+		}
+		if it.mk != nil {
+			if !enqueue(&boxSlot{mk: it.mk}) {
+				break
+			}
+			continue
+		}
+		rec := it.rec
+		env.trace(b.label, "in", rec)
+		args, ok := b.bindArgs(rec)
+		if !ok {
+			env.error(fmt.Errorf("core: box %s: input record %s does not match signature %s",
+				b.label, rec, b.boxSig))
+			env.stats.Add("box."+b.label+".rejected", 1)
+			continue
+		}
+		s := &boxSlot{emit: make(stream, env.buf)}
+		if !enqueue(s) {
+			break
+		}
+		if !dispatch(&boxCall{rec: rec, args: args, slot: s}) {
+			// Cancelled between queueing the slot and handing the call to
+			// a worker; the releaser's recv is cancellation-aware, so the
+			// never-filled slot cannot wedge it.
+			break
+		}
+	}
+	drainTail(env, in)
+	close(calls)
+	wg.Wait()
+	close(slots)
+	<-released
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The concurrent box engine (boxengine.go) must overlap invocations while
+// keeping the output stream byte-identical to sequential execution.
+
+// gateBox blocks every invocation until `need` of them are in flight at
+// once, proving genuine overlap without depending on timing.
+func gateBox(name string, need int) (Node, *atomic.Int32) {
+	var inflight atomic.Int32
+	n := NewBox(name, MustParseSignature("(<n>) -> (<n>)"),
+		func(args []any, out *Emitter) error {
+			inflight.Add(1)
+			deadline := time.Now().Add(5 * time.Second)
+			for inflight.Load() < int32(need) {
+				if time.Now().After(deadline) {
+					return errors.New("gate never filled: no overlap")
+				}
+				select {
+				case <-out.Done():
+					return ErrCancelled
+				case <-time.After(100 * time.Microsecond):
+				}
+			}
+			return out.Out(1, args[0].(int))
+		})
+	return n, &inflight
+}
+
+func TestBoxEngineOverlapsInvocations(t *testing.T) {
+	box, _ := gateBox("olap", 3)
+	out, stats := runNet(t, box, seqInputs(6, func(i int, r *Record) { r.SetTag("n", i) }),
+		WithBoxWorkers(4))
+	if len(out) != 6 {
+		t.Fatalf("got %d records", len(out))
+	}
+	if hw := stats.Max("box.olap.inflight"); hw < 3 {
+		t.Fatalf("inflight high-water = %d, want >= 3", hw)
+	}
+	if stats.Max("box.olap.concurrency") != 4 {
+		t.Fatalf("concurrency = %d, want 4", stats.Max("box.olap.concurrency"))
+	}
+	if stats.Counter("box.olap.calls") != 6 {
+		t.Fatalf("calls = %d", stats.Counter("box.olap.calls"))
+	}
+}
+
+func TestBoxEnginePreservesOrder(t *testing.T) {
+	// Each input <seq> emits (seq,0)..(seq,2) after a seq-dependent delay;
+	// a concurrent engine that released invocations as they finish would
+	// interleave them.  The reorder stage must restore input order exactly.
+	multi := NewBox("ord", MustParseSignature("(<seq>) -> (<seq>,<part>)"),
+		func(args []any, out *Emitter) error {
+			seq := args[0].(int)
+			time.Sleep(time.Duration((seq%5)*300) * time.Microsecond)
+			for part := 0; part < 3; part++ {
+				if err := out.Out(1, seq, part); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	const n = 30
+	out, _ := runNet(t, multi, seqInputs(n, nil), WithBoxWorkers(8))
+	if len(out) != 3*n {
+		t.Fatalf("got %d records", len(out))
+	}
+	for i, r := range out {
+		if tagOf(t, r, "seq") != i/3 || tagOf(t, r, "part") != i%3 {
+			t.Fatalf("position %d: got seq=%d part=%d", i,
+				tagOf(t, r, "seq"), tagOf(t, r, "part"))
+		}
+	}
+}
+
+func TestBoxEngineMarkerBarrier(t *testing.T) {
+	// A concurrent jittery box inside deterministic combinators: the sort
+	// markers crossing the box must still delimit exactly the records routed
+	// before them, or the det merge falls apart.
+	n := SplitDet(jitterBox("mb", 91), "k")
+	inputs := seqInputs(detN, func(i int, r *Record) { r.SetTag("k", i%4) })
+	out, _ := runNet(t, n, inputs, WithBoxWorkers(8))
+	assertOrdered(t, collectSeqs(t, out), detN)
+}
+
+func TestBoxEnginePanicIsolation(t *testing.T) {
+	var errs int32
+	out, stats := func() ([]*Record, *Stats) {
+		out, stats, err := RunAll(context.Background(), poisonBox("pc", 7),
+			seqInputs(20, func(i int, r *Record) { r.SetTag("n", i) }),
+			WithBoxWorkers(4),
+			WithErrorHandler(func(error) { atomic.AddInt32(&errs, 1) }))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, stats
+	}()
+	if len(out) != 19 {
+		t.Fatalf("got %d records, want 19 survivors", len(out))
+	}
+	if errs != 1 || stats.Counter("box.pc.panics") != 1 {
+		t.Fatalf("errs=%d panics=%d", errs, stats.Counter("box.pc.panics"))
+	}
+}
+
+func TestBoxEngineRejectsUnbindable(t *testing.T) {
+	var errs int32
+	out, stats, err := RunAll(context.Background(), incBox("rj", 1),
+		[]*Record{recN(1), NewRecord().SetField("other", 1), recN(2)},
+		WithBoxWorkers(4),
+		WithErrorHandler(func(error) { atomic.AddInt32(&errs, 1) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || errs != 1 || stats.Counter("box.rj.rejected") != 1 {
+		t.Fatalf("out=%d errs=%d rejected=%d", len(out), errs,
+			stats.Counter("box.rj.rejected"))
+	}
+}
+
+func TestNewBoxConcurrentOverridesRunDefault(t *testing.T) {
+	// The run default is sequential, but the box pins its own width.
+	var inflight atomic.Int32
+	box := NewBoxConcurrent("own", MustParseSignature("(<n>) -> (<n>)"),
+		func(args []any, out *Emitter) error {
+			inflight.Add(1)
+			deadline := time.Now().Add(5 * time.Second)
+			for inflight.Load() < 2 {
+				if time.Now().After(deadline) {
+					return errors.New("no overlap despite NewBoxConcurrent")
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+			return out.Out(1, args[0].(int))
+		}, 4)
+	out, stats := runNet(t, box, seqInputs(4, func(i int, r *Record) { r.SetTag("n", i) }),
+		WithBoxWorkers(1))
+	if len(out) != 4 {
+		t.Fatalf("got %d records", len(out))
+	}
+	if stats.Max("box.own.concurrency") != 4 {
+		t.Fatalf("concurrency = %d, want 4", stats.Max("box.own.concurrency"))
+	}
+}
+
+func TestNewBoxConcurrentPinsSequential(t *testing.T) {
+	// Width 1 pins the box to the sequential path even when the run default
+	// is wide: at no point may two invocations overlap.
+	var inflight, overlapped atomic.Int32
+	box := NewBoxConcurrent("pin", MustParseSignature("(<n>) -> (<n>)"),
+		func(args []any, out *Emitter) error {
+			if inflight.Add(1) > 1 {
+				overlapped.Store(1)
+			}
+			time.Sleep(200 * time.Microsecond)
+			inflight.Add(-1)
+			return out.Out(1, args[0].(int))
+		}, 1)
+	out, stats := runNet(t, box, seqInputs(10, func(i int, r *Record) { r.SetTag("n", i) }),
+		WithBoxWorkers(16))
+	if len(out) != 10 {
+		t.Fatalf("got %d records", len(out))
+	}
+	if overlapped.Load() != 0 {
+		t.Fatal("pinned-sequential box overlapped invocations")
+	}
+	if stats.Max("box.pin.concurrency") != 1 {
+		t.Fatalf("concurrency = %d, want 1", stats.Max("box.pin.concurrency"))
+	}
+}
+
+// Satellite audit: a stopped emitter must refuse further emissions without
+// counting them, and cancelled invocations must not count as completed
+// calls — "box.<name>.calls" and "box.<name>.emitted" describe what
+// actually reached the box's output stream.
+func TestEmitterStoppedStopsCounting(t *testing.T) {
+	var sawStopped, emittedAfterStop, calls int32
+	blocker := NewBox("stop", MustParseSignature("(<n>) -> (<n>)"),
+		func(args []any, out *Emitter) error {
+			atomic.AddInt32(&calls, 1)
+			for i := 0; ; i++ {
+				before := out.Emitted()
+				if err := out.Out(1, i); err != nil {
+					if !errors.Is(err, ErrCancelled) {
+						return err
+					}
+					atomic.StoreInt32(&sawStopped, 1)
+					// Emitter is stopped: another Out must fail fast
+					// and not advance the emission count.
+					if err2 := out.Out(1, i); !errors.Is(err2, ErrCancelled) {
+						return errors.New("second Out after stop did not fail")
+					}
+					if out.Emitted() != before {
+						atomic.StoreInt32(&emittedAfterStop, 1)
+					}
+					return ErrCancelled
+				}
+			}
+		})
+	h := Start(context.Background(), blocker, WithBuffer(0))
+	if err := h.Send(recN(1)); err != nil {
+		t.Fatal(err)
+	}
+	// The box is now looping emissions nobody consumes; cancel mid-stream.
+	time.Sleep(2 * time.Millisecond)
+	h.Cancel()
+	h.Wait()
+	// Wait waits for the output adapter, not the node goroutine; the box
+	// settles its accounting just before exiting, so poll the (locked)
+	// stats until the cancelled invocation has been counted.
+	stats := h.Stats()
+	deadline := time.Now().Add(5 * time.Second)
+	for stats.Counter("box.stop.cancelled") == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if atomic.LoadInt32(&calls) != 1 || atomic.LoadInt32(&sawStopped) != 1 {
+		t.Fatalf("calls=%d sawStopped=%d", calls, sawStopped)
+	}
+	if atomic.LoadInt32(&emittedAfterStop) != 0 {
+		t.Fatal("Emitted() advanced after the emitter was stopped")
+	}
+	if stats.Counter("box.stop.calls") != 0 {
+		t.Fatalf("cancelled invocation counted as completed call: %d",
+			stats.Counter("box.stop.calls"))
+	}
+	if stats.Counter("box.stop.cancelled") != 1 {
+		t.Fatalf("cancelled = %d, want 1", stats.Counter("box.stop.cancelled"))
+	}
+}
+
+func TestBoxEmittedCounterMatchesOutput(t *testing.T) {
+	fan := NewBox("cnt", MustParseSignature("(<n>) -> (<n>)"),
+		func(args []any, out *Emitter) error {
+			for i := 0; i < args[0].(int); i++ {
+				if err := out.Out(1, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	for _, w := range []int{1, 4} {
+		out, stats := runNet(t, fan, []*Record{recN(2), recN(3), recN(4)}, WithBoxWorkers(w))
+		if len(out) != 9 {
+			t.Fatalf("W=%d: got %d records", w, len(out))
+		}
+		if got := stats.Counter("box.cnt.emitted"); got != 9 {
+			t.Fatalf("W=%d: emitted = %d, want 9", w, got)
+		}
+		if got := stats.Counter("box.cnt.calls"); got != 3 {
+			t.Fatalf("W=%d: calls = %d, want 3", w, got)
+		}
+	}
+}

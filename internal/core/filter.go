@@ -63,6 +63,7 @@ func (f *filterNode) run(env *runEnv, in <-chan item, out chan<- item) {
 		}
 		if it.mk != nil {
 			if !send(env, out, it) {
+				drainTail(env, in)
 				return
 			}
 			continue
@@ -72,6 +73,7 @@ func (f *filterNode) run(env *runEnv, in <-chan item, out chan<- item) {
 		if !f.spec.Pattern.Matches(rec) {
 			env.stats.Add("filter."+f.label+".nomatch", 1)
 			if !send(env, out, it) {
+				drainTail(env, in)
 				return
 			}
 			continue
@@ -86,6 +88,7 @@ func (f *filterNode) run(env *runEnv, in <-chan item, out chan<- item) {
 		for _, o := range outs {
 			env.trace(f.label, "out", o)
 			if !sendRecord(env, out, o) {
+				drainTail(env, in)
 				return
 			}
 		}

@@ -82,6 +82,66 @@ func TestNoLeakDeterministicNets(t *testing.T) {
 	waitForGoroutines(t, base+3)
 }
 
+// Mid-stream cancellation per node kind: every node's early-exit path must
+// go through the shared drainTail discipline, so neither the upstream
+// sender nor the node's own machinery (including the box engine's workers
+// and releaser) can outlive the run.
+func TestNoLeakMidStreamCancel(t *testing.T) {
+	slowBody := func(args []any, out *Emitter) error {
+		select {
+		case <-out.Done():
+			return ErrCancelled
+		case <-time.After(time.Millisecond):
+		}
+		return out.Out(1, args[0].(int))
+	}
+	cases := map[string]func() Node{
+		"box": func() Node {
+			return NewBox("mc", MustParseSignature("(<n>) -> (<n>)"), slowBody)
+		},
+		"boxConcurrent": func() Node {
+			return NewBoxConcurrent("mcw", MustParseSignature("(<n>) -> (<n>)"), slowBody, 4)
+		},
+		"filter": func() Node {
+			return Serial(NewBox("mf", MustParseSignature("(<n>) -> (<n>)"), slowBody),
+				MustFilter("{<n>} -> {<n>=<n>+1}"))
+		},
+		"split": func() Node {
+			return NamedSplit("ms",
+				NewBox("msb", MustParseSignature("(<n>) -> (<n>)"), slowBody), "k")
+		},
+	}
+	for name, mk := range cases {
+		t.Run(name, func(t *testing.T) {
+			base := goroutineCount()
+			for i := 0; i < 5; i++ {
+				h := Start(context.Background(), mk(), WithBuffer(1))
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					for j := 0; j < 40; j++ {
+						if h.Send(NewRecord().SetTag("n", j).SetTag("k", j%4)) != nil {
+							return
+						}
+					}
+				}()
+				// Consume a couple of results so the stream is genuinely
+				// mid-flight, then cancel with records queued everywhere.
+				for j := 0; j < 2; j++ {
+					select {
+					case <-h.Out():
+					case <-time.After(time.Second):
+					}
+				}
+				h.Cancel()
+				<-done
+				h.Wait()
+			}
+			waitForGoroutines(t, base+3)
+		})
+	}
+}
+
 func TestNoLeakUnconsumedOutput(t *testing.T) {
 	// Cancel with records still queued in the output adapter and a
 	// sender still blocked on backpressure; h.Out() is never read.

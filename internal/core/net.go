@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync/atomic"
 )
 
@@ -40,11 +41,12 @@ var ErrClosed = errors.New("core: network input closed")
 func Start(ctx context.Context, root Node, opts ...Option) *Handle {
 	ctx, cancel := context.WithCancel(ctx)
 	env := &runEnv{
-		ctx:      ctx,
-		stats:    newStats(),
-		buf:      32,
-		maxDepth: 1 << 20,
-		maxWidth: 1 << 20,
+		ctx:        ctx,
+		stats:      newStats(),
+		buf:        32,
+		maxDepth:   1 << 20,
+		maxWidth:   1 << 20,
+		boxWorkers: runtime.GOMAXPROCS(0),
 	}
 	for _, o := range opts {
 		o(env)

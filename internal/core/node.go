@@ -66,6 +66,7 @@ func (n *identityNode) run(env *runEnv, in <-chan item, out chan<- item) {
 			}
 		}
 		if !send(env, out, it) {
+			drainTail(env, in)
 			return
 		}
 	}

@@ -7,11 +7,14 @@ import (
 
 // parallelNode is parallel composition: incoming records are routed to the
 // branch whose input type matches best; branch outputs are merged (§4).
+// Note the absence of run state: networks are blueprints shared by any
+// number of concurrent runs (service sessions), so even a humble rotation
+// counter must live in run, not on the node (it used to live here, which
+// was a data race between sessions; see TestSharedNetworkConcurrentSessions).
 type parallelNode struct {
 	label    string
 	det      bool
 	branches []Node
-	rr       int // rotation counter for nondeterministic tie-breaking
 }
 
 // Parallel builds the nondeterministic parallel combinator (A||B); it
@@ -86,7 +89,8 @@ func (n *parallelNode) run(env *runEnv, in <-chan item, out chan<- item) {
 		f.mergeLoop(out, f.level)
 		close(mergeDone)
 	}()
-	rr := n.rr
+	// Per-run rotation counter for nondeterministic tie-breaking.
+	rr := 0
 	for {
 		it, ok := recv(env, in)
 		if !ok {
@@ -134,7 +138,7 @@ func (n *parallelNode) run(env *runEnv, in <-chan item, out chan<- item) {
 			break
 		}
 	}
-	go drain(env, in)
+	drainTail(env, in)
 	f.finish()
 	<-mergeDone
 }

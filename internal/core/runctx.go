@@ -138,14 +138,15 @@ func (f TracerFunc) Event(node, dir string, rec *Record) { f(node, dir, rec) }
 // runEnv carries the per-run execution context shared by all nodes of one
 // started network.
 type runEnv struct {
-	ctx      context.Context
-	stats    *Stats
-	tracer   Tracer
-	onError  func(error)
-	buf      int
-	levelSeq atomic.Int64 // deterministic-combinator level ids
-	maxDepth int          // serial replication unfolding cap
-	maxWidth int          // parallel replication width cap
+	ctx        context.Context
+	stats      *Stats
+	tracer     Tracer
+	onError    func(error)
+	buf        int
+	levelSeq   atomic.Int64 // deterministic-combinator level ids
+	maxDepth   int          // serial replication unfolding cap
+	maxWidth   int          // parallel replication width cap
+	boxWorkers int          // in-flight invocation cap per box node
 }
 
 func (e *runEnv) newLevel() int { return int(e.levelSeq.Add(1)) }
@@ -194,6 +195,19 @@ func WithMaxStarDepth(n int) Option {
 	return func(e *runEnv) {
 		if n > 0 {
 			e.maxDepth = n
+		}
+	}
+}
+
+// WithBoxWorkers sets the run's default box concurrency width W: every box
+// node may run up to W invocations of its (stateless) box function at a
+// time, with output order preserved by the reorder stage of the box engine
+// (see boxengine.go).  The default is GOMAXPROCS; 1 restores strictly
+// sequential invocation.  NewBoxConcurrent overrides the width per box.
+func WithBoxWorkers(n int) Option {
+	return func(e *runEnv) {
+		if n > 0 {
+			e.boxWorkers = n
 		}
 	}
 }

@@ -49,6 +49,6 @@ func (s *serialNode) run(env *runEnv, in <-chan item, out chan<- item) {
 	// If b stopped early (cancellation) a may still be blocked sending to
 	// mid; the cancel path in send unblocks it.  Wait so run has no
 	// stragglers once it returns.
-	go drain(env, mid)
+	drainTail(env, mid)
 	wg.Wait()
 }

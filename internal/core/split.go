@@ -105,7 +105,7 @@ func (n *splitNode) run(env *runEnv, in <-chan item, out chan<- item) {
 			break
 		}
 	}
-	go drain(env, in)
+	drainTail(env, in)
 	f.finish()
 	<-mergeDone
 }

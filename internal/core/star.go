@@ -109,7 +109,7 @@ func (n *starNode) run(env *runEnv, in <-chan item, out chan<- item) {
 			break
 		}
 	}
-	go drain(env, in)
+	drainTail(env, in)
 	f.finish()
 	<-mergeDone
 }

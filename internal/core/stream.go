@@ -66,6 +66,15 @@ func drain(env *runEnv, in <-chan item) {
 	}
 }
 
+// drainTail detaches a background consumer for the remainder of in.  Every
+// node that stops consuming its input early — whether it merged its last
+// exit record (star), hit a cancelled send, or finished a dispatch loop —
+// uses this one helper so upstream senders can never stay blocked on a
+// stream nobody reads; drain itself returns on close or cancellation.
+func drainTail(env *runEnv, in <-chan item) {
+	go drain(env, in)
+}
+
 // ctxDone reports whether the run has been cancelled.
 func ctxDone(ctx context.Context) bool {
 	select {

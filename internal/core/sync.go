@@ -56,6 +56,7 @@ func (n *syncNode) run(env *runEnv, in <-chan item, out chan<- item) {
 		}
 		if it.mk != nil || fired {
 			if !forward(it) {
+				drainTail(env, in)
 				return
 			}
 			continue
@@ -72,6 +73,7 @@ func (n *syncNode) run(env *runEnv, in <-chan item, out chan<- item) {
 		}
 		if !stored {
 			if !forward(it) {
+				drainTail(env, in)
 				return
 			}
 			continue
@@ -96,6 +98,7 @@ func (n *syncNode) run(env *runEnv, in <-chan item, out chan<- item) {
 		fired = true
 		storage = nil
 		if !sendRecord(env, out, merged) {
+			drainTail(env, in)
 			return
 		}
 	}

@@ -51,6 +51,12 @@ type Options struct {
 	// builder (the "SaC threads" of the boxes).  nil leaves the choice to
 	// the builder (typically sequential).
 	Pool *sac.Pool
+	// BoxWorkers is the per-box invocation concurrency width W of every
+	// instance (snet.WithBoxWorkers): each box node of a session's network
+	// may run up to W invocations of its stateless box function at a time,
+	// with output order preserved by the runtime's reorder stage.  0 keeps
+	// the runtime default (GOMAXPROCS); 1 forces sequential boxes.
+	BoxWorkers int
 	// MaxStarDepth and MaxSplitWidth bound replication unfolding per run
 	// (snet.WithMaxStarDepth / WithMaxSplitWidth).  0 keeps the runtime
 	// defaults.
@@ -89,6 +95,9 @@ func (o Options) runOptions() []snet.Option {
 	var opts []snet.Option
 	if o.BufferSize >= 0 {
 		opts = append(opts, snet.WithBuffer(o.BufferSize))
+	}
+	if o.BoxWorkers > 0 {
+		opts = append(opts, snet.WithBoxWorkers(o.BoxWorkers))
 	}
 	if o.MaxStarDepth > 0 {
 		opts = append(opts, snet.WithMaxStarDepth(o.MaxStarDepth))

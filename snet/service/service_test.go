@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -37,6 +38,61 @@ func gatedNet(gate chan struct{}) Builder {
 }
 
 func recN(n int) *snet.Record { return snet.NewRecord().SetTag("n", n) }
+
+// blockedNet builds a one-box network whose invocations wait until `need`
+// of them are in flight, so the test can prove the BoxWorkers option
+// reached the runtime's concurrent box engine.
+func blockedNet(need int32) Builder {
+	return func(Options) (snet.Node, error) {
+		var inflight int32
+		return snet.NewBox("gate", snet.MustParseSignature("(<n>) -> (<n>)"),
+			func(args []any, out *snet.Emitter) error {
+				for atomic.AddInt32(&inflight, 1); atomic.LoadInt32(&inflight) < need; {
+					select {
+					case <-out.Done():
+						return snet.ErrCancelled
+					case <-time.After(100 * time.Microsecond):
+					}
+				}
+				return out.Out(1, args[0].(int))
+			}), nil
+	}
+}
+
+// TestBoxWorkersOptionReachesRuntime opens a session of a network whose box
+// only completes when BoxWorkers invocations overlap, and checks the
+// engine's counters surface through the aggregated run stats.
+func TestBoxWorkersOptionReachesRuntime(t *testing.T) {
+	svc := New()
+	svc.Register("wide", "overlap gate", Options{BufferSize: 4, BoxWorkers: 3}, blockedNet(3), nil)
+	sess, err := svc.Open("wide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < 6; i++ {
+		if err := sess.Send(ctx, recN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sess.CloseInput()
+	recs, done, err := sess.Drain(ctx, 0)
+	if err != nil || !done || len(recs) != 6 {
+		t.Fatalf("drain: %d records done=%v err=%v", len(recs), done, err)
+	}
+	sess.Release()
+	stats := svc.Stats()
+	if stats["run.wide.box.gate.concurrency.max"] != 3 {
+		t.Fatalf("concurrency.max = %d, want 3", stats["run.wide.box.gate.concurrency.max"])
+	}
+	if hw := stats["run.wide.box.gate.inflight.max"]; hw < 3 {
+		t.Fatalf("inflight.max = %d, want >= 3", hw)
+	}
+	if stats["run.wide.box.gate.emitted"] != 6 {
+		t.Fatalf("emitted = %d, want 6", stats["run.wide.box.gate.emitted"])
+	}
+}
 
 func TestSessionLifecycle(t *testing.T) {
 	svc := New()

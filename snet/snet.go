@@ -102,30 +102,37 @@ var (
 
 // Node constructors.
 var (
-	NewBox        = core.NewBox
-	NewFilter     = core.NewFilter
-	FilterFrom    = core.FilterFrom
-	MustFilter    = core.MustFilter
-	Observe       = core.Observe
-	Serial        = core.Serial
-	Parallel      = core.Parallel
-	ParallelDet   = core.ParallelDet
-	Star          = core.Star
-	StarDet       = core.StarDet
-	NamedStar     = core.NamedStar
-	NamedStarDet  = core.NamedStarDet
-	Split         = core.Split
-	SplitDet      = core.SplitDet
-	NamedSplit    = core.NamedSplit
-	NamedSplitDet = core.NamedSplitDet
-	Sync          = core.Sync
+	NewBox = core.NewBox
+	// NewBoxConcurrent is NewBox with a fixed per-box concurrency width
+	// (0 inherits the run's WithBoxWorkers default, 1 pins sequential).
+	NewBoxConcurrent = core.NewBoxConcurrent
+	NewFilter        = core.NewFilter
+	FilterFrom       = core.FilterFrom
+	MustFilter       = core.MustFilter
+	Observe          = core.Observe
+	Serial           = core.Serial
+	Parallel         = core.Parallel
+	ParallelDet      = core.ParallelDet
+	Star             = core.Star
+	StarDet          = core.StarDet
+	NamedStar        = core.NamedStar
+	NamedStarDet     = core.NamedStarDet
+	Split            = core.Split
+	SplitDet         = core.SplitDet
+	NamedSplit       = core.NamedSplit
+	NamedSplitDet    = core.NamedSplitDet
+	Sync             = core.Sync
 )
 
 // Run options.
 var (
-	WithBuffer        = core.WithBuffer
-	WithTracer        = core.WithTracer
-	WithErrorHandler  = core.WithErrorHandler
+	WithBuffer       = core.WithBuffer
+	WithTracer       = core.WithTracer
+	WithErrorHandler = core.WithErrorHandler
+	// WithBoxWorkers sets the per-box invocation concurrency width W for
+	// the run (default GOMAXPROCS, 1 = sequential).  Output order is
+	// preserved at any width, so deterministic networks stay deterministic.
+	WithBoxWorkers    = core.WithBoxWorkers
 	WithMaxStarDepth  = core.WithMaxStarDepth
 	WithMaxSplitWidth = core.WithMaxSplitWidth
 )
