@@ -292,6 +292,50 @@ func BenchmarkE12LatencyBoundBox(b *testing.B) {
 	}
 }
 
+// BenchmarkE13DeepPipeline — the batched stream transport on a deep
+// pipeline of cheap stages: at B=1 every record pays one channel
+// synchronization per hop; frames amortize that B-fold on hot streams
+// while the adaptive flush keeps single-record latency flat.
+func BenchmarkE13DeepPipeline(b *testing.B) {
+	const n, depth = 2000, 32
+	mkNet := func() snet.Node {
+		stages := make([]snet.Node, depth)
+		for i := range stages {
+			stages[i] = snet.Observe(fmt.Sprintf("tap%d", i), nil)
+		}
+		return snet.Serial(stages...)
+	}
+	inputs := make([]*snet.Record, n)
+	for i := range inputs {
+		inputs[i] = snet.NewRecord().SetTag("n", i)
+	}
+	for _, B := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("B%d", B), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, _, err := snet.RunAll(context.Background(), mkNet(), inputs,
+					snet.WithStreamBatch(B), snet.WithBoxWorkers(1))
+				if err != nil || len(out) != n {
+					b.Fatalf("out=%d err=%v", len(out), err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE14Fig1Batch — the Fig. 1 sudoku pipeline (the case study's
+// deepest star chain) across the stream batch size.
+func BenchmarkE14Fig1Batch(b *testing.B) {
+	puzzle := fixed(b, "hard")
+	for _, B := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("B%d", B), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				solveNet(b, sudoku.Fig1Net(sudoku.NetConfig{Pool: pool1}), puzzle,
+					snet.WithStreamBatch(B))
+			}
+		})
+	}
+}
+
 // BenchmarkE10InterpretedBoxes — Fig. 1 with the paper's interpreted SaC
 // boxes (the hybrid two-layer configuration) vs native boxes.
 func BenchmarkE10InterpretedBoxes(b *testing.B) {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-reps n] [-workers w] [-only E3]
+//	experiments [-reps n] [-workers w] [-grain g] [-stream-batch B] [-only E3]
 package main
 
 import (
@@ -22,10 +22,14 @@ func main() {
 	var (
 		reps    = flag.Int("reps", 5, "measurement repetitions per cell")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "max with-loop workers for the scaling experiment")
+		grain   = flag.Int("grain", 0, "with-loop minimum chunk size for every pool (0: per-experiment default)")
+		batch   = flag.Int("stream-batch", 0, "stream batch size B for every run (0: runtime default; E13/E14 sweep B regardless)")
 		only    = flag.String("only", "", "run a single experiment (e.g. E3)")
 	)
 	flag.Parse()
 	bench.Reps = *reps
+	bench.Grain = *grain
+	bench.StreamBatch = *batch
 
 	fmt.Printf("# Experiment run — %s, GOMAXPROCS=%d, reps=%d\n\n",
 		time.Now().Format("2006-01-02 15:04:05"), runtime.GOMAXPROCS(0), *reps)
@@ -53,6 +57,10 @@ func main() {
 			tables = []*bench.Table{bench.E9RuntimeMicro()}
 		case "E10":
 			tables = []*bench.Table{bench.E10Hybrid()}
+		case "E13":
+			tables = []*bench.Table{bench.E13DeepPipeline()}
+		case "E14":
+			tables = []*bench.Table{bench.E14Fig1Batch()}
 		default:
 			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (E7 is covered by unit tests)\n", *only)
 			os.Exit(2)

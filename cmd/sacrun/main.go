@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 
@@ -51,71 +52,80 @@ int[*] ex6() {
 `
 
 func main() {
-	var (
-		workers = flag.Int("workers", 1, "with-loop workers ('SaC threads')")
-		fun     = flag.String("fun", "main", "function to call")
-		runDemo = flag.Bool("demo", false, "run the paper's §2 examples")
-	)
-	flag.Parse()
-
-	pool := sac.NewPool(*workers)
-	if *runDemo {
-		prog, err := saclang.Parse(saclang.Prelude + demo)
-		if err != nil {
-			fatal(err)
-		}
-		itp := saclang.New(prog, pool)
-		itp.SetOutput(os.Stdout)
-		for _, name := range []string{"ex1", "ex2", "ex3", "ex4", "ex5", "ex6"} {
-			out, err := itp.Call(name, nil, nil)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("%s = %s\n", name, out[0])
-		}
-		return
-	}
-
-	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: sacrun [-workers w] [-fun name] file.sac [intArg...]")
-		os.Exit(2)
-	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-	prog, err := saclang.Parse(saclang.Prelude + string(src))
-	if err != nil {
-		fatal(err)
-	}
-	itp := saclang.New(prog, pool)
-	itp.SetOutput(os.Stdout)
-
-	var args []saclang.Value
-	for _, a := range flag.Args()[1:] {
-		n, err := strconv.Atoi(a)
-		if err != nil {
-			fatal(fmt.Errorf("argument %q is not an integer", a))
-		}
-		args = append(args, saclang.IntScalar(n))
-	}
-	out, err := itp.Call(*fun, args, func(variant int, vals []saclang.Value) error {
-		fmt.Printf("snet_out(%d", variant)
-		for _, v := range vals {
-			fmt.Printf(", %s", v)
-		}
-		fmt.Println(")")
-		return nil
-	})
-	if err != nil {
-		fatal(err)
-	}
-	for i, v := range out {
-		fmt.Printf("result[%d] = %s\n", i, v)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "sacrun:", err)
+		os.Exit(1)
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sacrun:", err)
-	os.Exit(1)
+// run is the testable command body: parse flags, interpret the program, and
+// print results (and any snet_out emissions) to stdout.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sacrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		workers = fs.Int("workers", 1, "with-loop workers ('SaC threads')")
+		grain   = fs.Int("grain", 0, "with-loop minimum chunk size (0: sched default)")
+		fun     = fs.String("fun", "main", "function to call")
+		runDemo = fs.Bool("demo", false, "run the paper's §2 examples")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	pool := sac.NewPoolWithGrain(*workers, *grain) // grain < 1: sched default
+	if *runDemo {
+		prog, err := saclang.Parse(saclang.Prelude + demo)
+		if err != nil {
+			return err
+		}
+		itp := saclang.New(prog, pool)
+		itp.SetOutput(stdout)
+		for _, name := range []string{"ex1", "ex2", "ex3", "ex4", "ex5", "ex6"} {
+			out, err := itp.Call(name, nil, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "%s = %s\n", name, out[0])
+		}
+		return nil
+	}
+
+	if fs.NArg() < 1 {
+		return fmt.Errorf("usage: sacrun [-workers w] [-fun name] file.sac [intArg...]")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	prog, err := saclang.Parse(saclang.Prelude + string(src))
+	if err != nil {
+		return err
+	}
+	itp := saclang.New(prog, pool)
+	itp.SetOutput(stdout)
+
+	var callArgs []saclang.Value
+	for _, a := range fs.Args()[1:] {
+		n, err := strconv.Atoi(a)
+		if err != nil {
+			return fmt.Errorf("argument %q is not an integer", a)
+		}
+		callArgs = append(callArgs, saclang.IntScalar(n))
+	}
+	out, err := itp.Call(*fun, callArgs, func(variant int, vals []saclang.Value) error {
+		fmt.Fprintf(stdout, "snet_out(%d", variant)
+		for _, v := range vals {
+			fmt.Fprintf(stdout, ", %s", v)
+		}
+		fmt.Fprintln(stdout, ")")
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, v := range out {
+		fmt.Fprintf(stdout, "result[%d] = %s\n", i, v)
+	}
+	return nil
 }

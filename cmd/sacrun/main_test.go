@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSac(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.sac")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunDemo(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-demo"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run -demo: %v", err)
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"ex1 =", "ex2 = [0,1,2,3,4]", "ex6 = [1,2,3,4,5]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("demo output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunProgramWithArgs(t *testing.T) {
+	path := writeSac(t, `
+int add(int a, int b) {
+    return( a + b);
+}
+`)
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-fun", "add", path, "19", "23"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "result[0] = 42") {
+		t.Errorf("expected result[0] = 42:\n%s", stdout.String())
+	}
+}
+
+func TestRunSnetOutEmissions(t *testing.T) {
+	path := writeSac(t, `
+int emit(int n) {
+    snet_out( 1, n + 1);
+    return( n);
+}
+`)
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-fun", "emit", "-workers", "2", path, "7"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "snet_out(1, 8)") {
+		t.Errorf("expected snet_out emission:\n%s", out)
+	}
+	if !strings.Contains(out, "result[0] = 7") {
+		t.Errorf("expected return value:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if err := run([]string{"/nonexistent/x.sac"}, &stdout, &stderr); err == nil {
+		t.Error("expected error for missing file")
+	}
+	if err := run([]string{}, &stdout, &stderr); err == nil {
+		t.Error("expected usage error with no arguments")
+	}
+	bad := writeSac(t, "int broken( {")
+	if err := run([]string{bad}, &stdout, &stderr); err == nil {
+		t.Error("expected parse error")
+	}
+}

@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	snetd [-addr :8080] [-workers w] [-box-workers W] [-buffer n]
-//	      [-max-sessions n] [-idle-timeout d] [-throttle m] [-level L]
+//	snetd [-addr :8080] [-workers w] [-grain g] [-box-workers W]
+//	      [-buffer n] [-stream-batch B] [-max-sessions n]
+//	      [-idle-timeout d] [-throttle m] [-level L]
 //	      [-det] [-snet file.snet]
 //	snetd -demo 50       # in-process load demo: 50 concurrent sessions
 //
@@ -43,8 +44,10 @@ import (
 // config collects the deployment knobs shared by serve and demo mode.
 type config struct {
 	workers     int           // with-loop pool width inside the boxes
+	grain       int           // with-loop minimum chunk size (0: sched default)
 	boxWorkers  int           // concurrent invocations per box node (0: GOMAXPROCS)
-	buffer      int           // stream buffer capacity per network instance
+	buffer      int           // stream buffer capacity (frames) per network instance
+	streamBatch int           // stream batch size B (0: runtime default)
 	maxSessions int           // per-network concurrent session cap
 	idleTimeout time.Duration // abandoned-session reaping threshold
 	throttle    int           // fig3 parallel-width throttle m
@@ -53,16 +56,23 @@ type config struct {
 	snetFile    string
 }
 
+// pool builds the with-loop pool from the worker and grain flags
+// (grain < 1 selects the sched default).
+func (cfg config) pool() *sac.Pool {
+	return sac.NewPoolWithGrain(cfg.workers, cfg.grain)
+}
+
 // newService builds the service with the built-in sudoku networks and any
 // textual networks from cfg.snetFile.
 func newService(cfg config) (*service.Service, error) {
 	svc := service.New()
 	opts := service.Options{
 		BufferSize:  cfg.buffer,
+		StreamBatch: cfg.streamBatch,
 		BoxWorkers:  cfg.boxWorkers,
 		MaxSessions: cfg.maxSessions,
 		IdleTimeout: cfg.idleTimeout,
-		Pool:        sac.NewPool(cfg.workers),
+		Pool:        cfg.pool(),
 	}
 	registerSudokuNets(svc, opts, cfg)
 	if cfg.snetFile != "" {
@@ -80,8 +90,10 @@ func main() {
 		cfg  config
 	)
 	flag.IntVar(&cfg.workers, "workers", 1, "data-parallel with-loop workers per box ('SaC threads')")
+	flag.IntVar(&cfg.grain, "grain", 0, "with-loop minimum chunk size per worker (0: sched default)")
 	flag.IntVar(&cfg.boxWorkers, "box-workers", 0, "concurrent invocations per box node, order-preserving (0: GOMAXPROCS, 1: sequential)")
-	flag.IntVar(&cfg.buffer, "buffer", 32, "stream buffer capacity per network instance")
+	flag.IntVar(&cfg.buffer, "buffer", 32, "stream buffer capacity (frames) per network instance")
+	flag.IntVar(&cfg.streamBatch, "stream-batch", 0, "records coalesced per stream synchronization, adaptive flush (0: runtime default, 1: unbatched)")
 	flag.IntVar(&cfg.maxSessions, "max-sessions", 0, "concurrent sessions per network (0: default 1024, <0: unlimited)")
 	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", 0, "release sessions idle this long (0: default 10m, <0: never)")
 	flag.IntVar(&cfg.throttle, "throttle", 4, "fig3: parallel-width throttle m in {<k>}->{<k>=<k>%m}")

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	snetrun [-net name] [-run] [-record '{<n>=5}']... file.snet
+//	snetrun [-net name] [-run] [-stream-batch B] [-record '{<n>=5}']... file.snet
 //	snetrun -list           # show the built-in demo boxes
 //
 // Record literals accept tags (<t>=int) and string fields (name=text).
@@ -22,6 +22,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -62,76 +63,94 @@ func (r *recordFlags) String() string     { return strings.Join(*r, " ") }
 func (r *recordFlags) Set(s string) error { *r = append(*r, s); return nil }
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "snetrun:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable command body: parse flags and the program, build the
+// requested net, and optionally execute it over the -record inputs.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("snetrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		netName = flag.String("net", "", "net to build (default: last net in the file)")
-		run     = flag.Bool("run", false, "run the network on the given -record inputs")
-		list    = flag.Bool("list", false, "list built-in demo boxes")
+		netName = fs.String("net", "", "net to build (default: last net in the file)")
+		doRun   = fs.Bool("run", false, "run the network on the given -record inputs")
+		list    = fs.Bool("list", false, "list built-in demo boxes")
+		batch   = fs.Int("stream-batch", 0, "stream batch size B (0: runtime default)")
 		records recordFlags
 	)
-	flag.Var(&records, "record", "input record literal, e.g. '{<n>=5, name=abc}' (repeatable)")
-	flag.Parse()
+	fs.Var(&records, "record", "input record literal, e.g. '{<n>=5, name=abc}' (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
-		fmt.Println("inc dec double split2 echo")
-		return
+		fmt.Fprintln(stdout, "inc dec double split2 echo")
+		return nil
 	}
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: snetrun [-net name] [-run] [-record {...}]... file.snet")
-		os.Exit(2)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: snetrun [-net name] [-run] [-record {...}]... file.snet")
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	prog, err := lang.Parse(string(src))
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Println("parsed:")
-	fmt.Print(prog)
+	fmt.Fprintln(stdout, "parsed:")
+	fmt.Fprint(stdout, prog)
 
 	name := *netName
 	if name == "" {
 		if len(prog.Nets) == 0 {
-			fatal(fmt.Errorf("no net definitions in %s", flag.Arg(0)))
+			return fmt.Errorf("no net definitions in %s", fs.Arg(0))
 		}
 		name = prog.Nets[len(prog.Nets)-1].Name
 	}
 	net, err := lang.Build(prog, name, demoRegistry())
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	in, out, diags := snet.Check(net)
-	fmt.Printf("\nnet %s : %v -> %v\n", name, in, out)
+	fmt.Fprintf(stdout, "\nnet %s : %v -> %v\n", name, in, out)
 	for _, d := range diags {
-		fmt.Println("  ", d)
+		fmt.Fprintln(stdout, "  ", d)
 	}
-	if !*run {
-		return
+	if !*doRun {
+		return nil
 	}
 
 	inputs := make([]*snet.Record, 0, len(records))
 	for _, lit := range records {
 		r, err := parseRecord(lit)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		inputs = append(inputs, r)
 	}
-	results, stats, err := snet.RunAll(context.Background(), net, inputs,
-		snet.WithErrorHandler(func(e error) { fmt.Fprintln(os.Stderr, "runtime:", e) }))
+	var opts []snet.Option
+	opts = append(opts, snet.WithErrorHandler(func(e error) { fmt.Fprintln(stderr, "runtime:", e) }))
+	if *batch > 0 {
+		opts = append(opts, snet.WithStreamBatch(*batch))
+	}
+	results, stats, err := snet.RunAll(context.Background(), net, inputs, opts...)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("\n%d output records:\n", len(results))
+	fmt.Fprintf(stdout, "\n%d output records:\n", len(results))
 	for _, r := range results {
-		fmt.Println("  ", r)
+		fmt.Fprintln(stdout, "  ", r)
 	}
-	fmt.Println("\nstatistics:")
+	fmt.Fprintln(stdout, "\nstatistics:")
 	snap := stats.Snapshot()
 	for _, k := range stats.Keys() {
-		fmt.Printf("  %-40s %d\n", k, snap[k])
+		fmt.Fprintf(stdout, "  %-40s %d\n", k, snap[k])
 	}
+	return nil
 }
 
 // parseRecord reads a record literal: {<tag>=int, field=string, ...}.
@@ -162,9 +181,4 @@ func parseRecord(lit string) (*snet.Record, error) {
 		}
 	}
 	return rec, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "snetrun:", err)
-	os.Exit(1)
 }

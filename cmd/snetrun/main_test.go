@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// countdown is a tiny end-to-end program over the built-in demo boxes: inc
+// feeds a deterministic star of dec that emits <done> at zero.
+const countdown = `
+box inc (<n>) -> (<n>);
+box dec (<n>) -> (<n>) | (<n>, <done>);
+net countdown connect inc .. (dec ** {<done>});
+`
+
+func writeProgram(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.snet")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCountdownEndToEnd(t *testing.T) {
+	path := writeProgram(t, countdown)
+	var stdout, stderr strings.Builder
+	err := run([]string{"-run", "-record", "{<n>=3}", "-record", "{<n>=1}", path},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"parsed:",
+		"net countdown",
+		"2 output records:",
+		"{<done>=1, <n>=0}",
+		"box.inc.calls",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunStreamBatchFlag(t *testing.T) {
+	path := writeProgram(t, countdown)
+	var stdout, stderr strings.Builder
+	err := run([]string{"-run", "-stream-batch", "64", "-record", "{<n>=5}", path},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "1 output records:") {
+		t.Errorf("expected one output record:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "stream.frames") {
+		t.Errorf("expected transport counters in statistics:\n%s", stdout.String())
+	}
+}
+
+func TestRunTypecheckOnly(t *testing.T) {
+	path := writeProgram(t, countdown)
+	var stdout, stderr strings.Builder
+	if err := run([]string{path}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(stdout.String(), "output records") {
+		t.Error("should not run without -run")
+	}
+	if !strings.Contains(stdout.String(), "net countdown :") {
+		t.Errorf("missing inferred type line:\n%s", stdout.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if err := run([]string{"/nonexistent/x.snet"}, &stdout, &stderr); err == nil {
+		t.Error("expected error for missing file")
+	}
+	bad := writeProgram(t, "net broken connect ;;;")
+	if err := run([]string{bad}, &stdout, &stderr); err == nil {
+		t.Error("expected parse error")
+	}
+	if err := run([]string{}, &stdout, &stderr); err == nil {
+		t.Error("expected usage error with no arguments")
+	}
+}

@@ -14,6 +14,30 @@ import (
 // Reps is the measurement repetition count used by the experiment tables.
 var Reps = 5
 
+// Grain overrides the with-loop pools' minimum chunk size for every
+// experiment (0 keeps each experiment's default), so grain sweeps are
+// runnable from cmd/experiments without recompiling.
+var Grain = 0
+
+// StreamBatch overrides the runs' stream batch size B for every experiment
+// (0 keeps the runtime default).  E13/E14 sweep B explicitly regardless.
+var StreamBatch = 0
+
+// newPool builds a with-loop pool honouring the Grain override (Grain < 1
+// selects the sched default).
+func newPool(width int) *sched.Pool {
+	return sched.NewWithGrain(width, Grain)
+}
+
+// runOpts returns the run options implied by the package knobs.
+func runOpts(extra ...core.Option) []core.Option {
+	var opts []core.Option
+	if StreamBatch > 0 {
+		opts = append(opts, core.WithStreamBatch(StreamBatch))
+	}
+	return append(opts, extra...)
+}
+
 // Workloads returns the named 9×9 puzzle set used across experiments.
 func Workloads() []struct {
 	Name   string
@@ -32,8 +56,8 @@ func Workloads() []struct {
 	return out
 }
 
-func solveNet(net core.Node, puzzle *sudoku.Board) (*core.Stats, error) {
-	b, stats, err := sudoku.SolveWithNet(context.Background(), net, puzzle)
+func solveNet(net core.Node, puzzle *sudoku.Board, opts ...core.Option) (*core.Stats, error) {
+	b, stats, err := sudoku.SolveWithNet(context.Background(), net, puzzle, runOpts(opts...)...)
 	if err != nil {
 		return stats, err
 	}
@@ -53,7 +77,7 @@ func E1Fig1() *Table {
 		Header: []string{"puzzle", "empty cells", "seq median", "fig1 median",
 			"stages (replicas)", "bound 81 held"},
 	}
-	pool := sched.New(1)
+	pool := newPool(1)
 	for _, w := range Workloads() {
 		seq := Measure(Reps, func() {
 			if _, ok := sudoku.SolveBoard(pool, w.Puzzle); !ok {
@@ -84,7 +108,7 @@ func E2Fig2() *Table {
 		Header: []string{"puzzle", "fig2 median", "stages", "max width",
 			"solveOneLevel instances", "bounds (9 / 729) held"},
 	}
-	pool := sched.New(1)
+	pool := newPool(1)
 	for _, w := range Workloads() {
 		var stats *core.Stats
 		tm := Measure(Reps, func() {
@@ -112,7 +136,7 @@ func E3Fig3() *Table {
 		Header: []string{"puzzle", "throttle m", "exit L", "median", "stages",
 			"max width", "width ≤ m"},
 	}
-	pool := sched.New(1)
+	pool := newPool(1)
 	for _, w := range Workloads()[1:] { // medium, hard
 		for _, m := range []int{1, 2, 4, 8} {
 			var stats *core.Stats
@@ -153,7 +177,7 @@ func E4Sequential() *Table {
 		Claim:  "\"this algorithm leads to code that typically solves 9 by 9 sudokus in far less than a second\" (§3 footnote)",
 		Header: []string{"puzzle", "median", "min", "sub-second"},
 	}
-	pool := sched.New(1)
+	pool := newPool(1)
 	for _, w := range Workloads() {
 		tm := Measure(Reps, func() {
 			if _, ok := sudoku.SolveBoard(pool, w.Puzzle); !ok {
@@ -240,7 +264,7 @@ func E6BigBoards() *Table {
 		Header: []string{"instance (holes/seed)", "seq", "fig2", "fig3",
 			"fig2 speedup", "fig3 speedup"},
 	}
-	pool := sched.New(1)
+	pool := newPool(1)
 	reps := Reps
 	if reps > 2 {
 		reps = 2 // hard instances run for seconds
@@ -399,7 +423,7 @@ func E10Hybrid() *Table {
 		Claim:  "the coordination layer treats box internals as opaque; the same network runs unmodified over either implementation (§4, §5)",
 		Header: []string{"puzzle", "native fig1", "interpreted fig1", "slowdown", "same solution"},
 	}
-	pool := sched.New(1)
+	pool := newPool(1)
 	boxes := sudoku.NewSacBoxes(pool)
 	for _, w := range Workloads()[:2] { // easy, medium — interpretation is slow
 		native, _, err := sudoku.SolveWithNet(context.Background(),
@@ -428,6 +452,117 @@ func E10Hybrid() *Table {
 	return t
 }
 
+// streamBatchSweep is the B axis of the transport experiments.
+var streamBatchSweep = []int{1, 8, 64}
+
+// E13DeepPipeline measures the batched stream transport on deep pipelines —
+// the workload the frame refactor targets: every record used to pay one
+// channel synchronization per hop, so a D-stage pipeline cost O(D) syncs
+// per record; frames amortize that B-fold on hot streams.
+func E13DeepPipeline() *Table {
+	t := &Table{
+		ID:    "E13",
+		Title: "Deep pipelines across stream batch size B (adaptive frame transport)",
+		Claim: "per-message stream overhead dominates fine-grained S-Net workloads (Zaichenkov et al., arXiv:1305.7167); batching synchronization is the transport-level remedy (cf. S+Net's extra-functional knobs, arXiv:1306.2743)",
+		Header: []string{"pipeline", "records", "B", "median", "records/s",
+			"frames/record", "speedup vs B=1"},
+	}
+	const n, depth = 5000, 32
+	idFn := func(args []any, out *core.Emitter) error { return out.Out(1, args[0].(int)) }
+	mkTaps := func() core.Node {
+		stages := make([]core.Node, depth)
+		for i := range stages {
+			stages[i] = core.Observe(fmt.Sprintf("tap%d", i), nil)
+		}
+		return core.Serial(stages...)
+	}
+	mkBoxes := func() core.Node {
+		stages := make([]core.Node, depth)
+		for i := range stages {
+			stages[i] = core.NewBox(fmt.Sprintf("id%d", i),
+				core.MustParseSignature("(<n>) -> (<n>)"), idFn)
+		}
+		return core.Serial(stages...)
+	}
+	inputs := func() []*core.Record {
+		recs := make([]*core.Record, n)
+		for i := range recs {
+			recs[i] = core.NewRecord().SetTag("n", i)
+		}
+		return recs
+	}
+	cases := []struct {
+		name string
+		mk   func() core.Node
+	}{
+		{fmt.Sprintf("%d identity taps", depth), mkTaps},
+		{fmt.Sprintf("%d-box id pipeline", depth), mkBoxes},
+	}
+	for _, c := range cases {
+		var base time.Duration
+		for _, b := range streamBatchSweep {
+			var stats *core.Stats
+			tm := Measure(3, func() {
+				out, s, err := core.RunAll(context.Background(), c.mk(), inputs(),
+					core.WithStreamBatch(b), core.WithBoxWorkers(1))
+				if err != nil || len(out) != n {
+					panic(fmt.Sprintf("E13 %s B=%d: out=%d err=%v", c.name, b, len(out), err))
+				}
+				stats = s
+			})
+			if b == 1 {
+				base = tm.Median()
+			}
+			framesPerRec := float64(stats.Counter("stream.frames")) /
+				float64(stats.Counter("stream.records"))
+			t.AddRow(c.name, n, b, tm.Median(),
+				fmt.Sprintf("%.0f", float64(n)/tm.Median().Seconds()),
+				fmt.Sprintf("%.2f", framesPerRec), Speedup(base, tm.Median()))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"frames/record counts every stream hop in the run; at B=1 it equals the hop count per record, and larger B divides it — the synchronization amortization the refactor buys.")
+	return t
+}
+
+// E14Fig1Batch runs the paper's Fig. 1 network — the deepest star chain of
+// the case study (≤ 81 unfolded stages) — across the stream batch size, the
+// end-to-end check that transport batching helps (and never hurts) a real
+// workload with the deterministic-merge protocol in the loop.
+func E14Fig1Batch() *Table {
+	t := &Table{
+		ID:    "E14",
+		Title: "Fig. 1 sudoku pipeline across stream batch size B",
+		Claim: "the star chain costs O(stages) stream synchronizations per record (§5's ≤ 81-stage unfolding); frame batching must cut that cost without disturbing results or unfolding bounds",
+		Header: []string{"puzzle", "B", "median", "stages", "frames/record",
+			"speedup vs B=1"},
+	}
+	pool := newPool(1)
+	for _, w := range Workloads() {
+		var base time.Duration
+		for _, b := range streamBatchSweep {
+			var stats *core.Stats
+			tm := Measure(Reps, func() {
+				s, err := solveNet(sudoku.Fig1Net(sudoku.NetConfig{Pool: pool}), w.Puzzle,
+					core.WithStreamBatch(b))
+				if err != nil {
+					panic(err)
+				}
+				stats = s
+			})
+			if b == 1 {
+				base = tm.Median()
+			}
+			framesPerRec := float64(stats.Counter("stream.frames")) /
+				float64(stats.Counter("stream.records"))
+			t.AddRow(w.Name, b, tm.Median(),
+				stats.Counter("star.solve_loop.replicas"),
+				fmt.Sprintf("%.2f", framesPerRec), Speedup(base, tm.Median()))
+		}
+	}
+	return t
+}
+
 // All runs every experiment table (E7 is covered by unit tests — the §2
 // semantics examples — and therefore has no timing table).
 func All(maxWorkers int) []*Table {
@@ -435,5 +570,6 @@ func All(maxWorkers int) []*Table {
 		E1Fig1(), E2Fig2(), E3Fig3(), E4Sequential(),
 		E5WithLoop(maxWorkers), E6BigBoards(),
 		E8DetVsNondet(), E9RuntimeMicro(), E10Hybrid(),
+		E13DeepPipeline(), E14Fig1Batch(),
 	}
 }

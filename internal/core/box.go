@@ -26,7 +26,7 @@ var ErrCancelled = errors.New("core: run cancelled")
 // call it was passed to.
 type Emitter struct {
 	env      *runEnv
-	out      chan<- item
+	out      *streamWriter
 	box      *boxNode
 	src      *Record
 	consumed Variant
@@ -69,7 +69,7 @@ func (e *Emitter) Out(variant int, vals ...any) error {
 	}
 	inheritInto(rec, e.src, e.consumed)
 	e.env.trace(e.box.label, "out", rec)
-	if !sendRecord(e.env, e.out, rec) {
+	if !e.out.sendRecord(rec) {
 		e.stopped = true
 		return ErrCancelled
 	}
@@ -146,24 +146,25 @@ func (b *boxNode) width(env *runEnv) int {
 	return w
 }
 
-func (b *boxNode) run(env *runEnv, in <-chan item, out chan<- item) {
+func (b *boxNode) run(env *runEnv, in *streamReader, out *streamWriter) {
 	if w := b.width(env); w > 1 {
 		b.runConcurrent(env, in, out, w)
 		return
 	}
-	defer close(out)
+	defer out.close()
+	in.autoFlush(out)
 	env.stats.Add("box."+b.label+".instances", 1)
 	env.stats.SetMax("box."+b.label+".concurrency", 1)
 	consumed := NewVariant(b.boxSig.In...)
 	invoked := false
 	for {
-		it, ok := recv(env, in)
+		it, ok := in.recv()
 		if !ok {
 			return
 		}
 		if it.mk != nil {
-			if !send(env, out, it) {
-				drainTail(env, in)
+			if !out.send(it) {
+				in.Discard()
 				return
 			}
 			continue
@@ -187,7 +188,7 @@ func (b *boxNode) run(env *runEnv, in <-chan item, out chan<- item) {
 		b.invoke(env, args, em)
 		b.account(env, em)
 		if em.stopped || ctxDone(env.ctx) {
-			drainTail(env, in)
+			in.Discard()
 			return
 		}
 	}
@@ -196,8 +197,10 @@ func (b *boxNode) run(env *runEnv, in <-chan item, out chan<- item) {
 // account settles one finished invocation's counters.  Completed
 // invocations count under "box.<name>.calls" and their emissions under
 // "box.<name>.emitted"; invocations cut short by run cancellation count
-// under "box.<name>.cancelled" instead, so per-box counters reflect only
-// records that actually reached the box's output stream.
+// under "box.<name>.cancelled" instead.  "Emitted" means accepted by the
+// box's output stream: under run cancellation up to B-1 emissions batched
+// in the writer's pending frame can still be dropped in flight (the
+// transport's own "stream.records" counter retracts those; see ship).
 func (b *boxNode) account(env *runEnv, em *Emitter) {
 	if em.emitted > 0 {
 		env.stats.Add("box."+b.label+".emitted", int64(em.emitted))

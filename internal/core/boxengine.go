@@ -25,34 +25,35 @@ import (
 //     invocations never leak emissions across a marker.
 //   - Panic isolation: an invocation that panics loses only its own
 //     record; its slot closes and the stream continues (invoke recovers).
-//   - Backpressure: emission buffers have the run's stream capacity; a
-//     fast invocation far from the head of the queue blocks on its own
-//     buffer rather than ballooning memory.
-//
-// The engine activates when a box's effective width (NewBoxConcurrent, or
-// the run's WithBoxWorkers default) exceeds 1; boxNode.run keeps a
-// zero-overhead sequential path for width 1.
+//   - Backpressure: each slot's emission buffer is an ordinary stream
+//     (newStream) with the run's frame capacity; a fast invocation far
+//     from the head of the queue blocks on its own buffer rather than
+//     ballooning memory.  Closing the slot stream when the invocation
+//     returns flushes any batched tail, so a worker never parks between
+//     calls with emissions still pending.
 
 // boxSlot is one slot of the reorder queue: either a forwarded marker or
-// the emission buffer of one invocation (closed when it returns).  The
+// the emission stream of one invocation (closed when it returns).  The
 // worker publishes the invocation's emitter just before closing emit, so
 // the releaser — the only party that knows which emissions actually
 // reached the output stream — can settle the invocation's counters.
 type boxSlot struct {
 	mk   *marker
-	emit stream
-	em   *Emitter // set by the worker before close(emit)
+	emit *streamReader
+	em   *Emitter // set by the worker before the emit writer closes
 }
 
-// boxCall is one dispatched invocation.
+// boxCall is one dispatched invocation; emitW is the writing end of the
+// slot's emission stream, owned by the worker that picks the call up.
 type boxCall struct {
-	rec  *Record
-	args []any
-	slot *boxSlot
+	rec   *Record
+	args  []any
+	emitW *streamWriter
+	slot  *boxSlot
 }
 
-func (b *boxNode) runConcurrent(env *runEnv, in <-chan item, out chan<- item, width int) {
-	defer close(out)
+func (b *boxNode) runConcurrent(env *runEnv, in *streamReader, out *streamWriter, width int) {
+	defer out.close()
 	env.stats.Add("box."+b.label+".instances", 1)
 	env.stats.SetMax("box."+b.label+".concurrency", int64(width))
 	consumed := NewVariant(b.boxSig.In...)
@@ -71,50 +72,70 @@ func (b *boxNode) runConcurrent(env *runEnv, in <-chan item, out chan<- item, wi
 		defer wg.Done()
 		for c := range calls {
 			env.stats.SetMax("box."+b.label+".inflight", inflight.Add(1))
-			em := &Emitter{env: env, out: c.slot.emit, box: b, src: c.rec, consumed: consumed}
+			em := &Emitter{env: env, out: c.emitW, box: b, src: c.rec, consumed: consumed}
 			b.invoke(env, c.args, em)
 			inflight.Add(-1)
 			c.slot.em = em // published by the close below
-			close(c.slot.emit)
+			c.emitW.close()
 		}
 	}
 
 	// The releaser walks the reorder queue in FIFO order, streaming each
 	// slot's emissions (or marker) to out.  Head-of-queue emissions stream
-	// through as they are produced; later invocations buffer until they
-	// become the head.  It also settles the per-invocation counters: an
-	// invocation counts under "calls"/"emitted" only for what its slot
+	// through as their frames are flushed; later invocations buffer until
+	// they become the head.  It also settles the per-invocation counters:
+	// an invocation counts under "calls"/"emitted" only for what its slot
 	// actually delivered downstream; slots overtaken by cancellation —
 	// including invocations still buffered or never dispatched — count
 	// under "cancelled", matching the sequential path's contract.
 	released := make(chan struct{})
 	go func() {
 		defer close(released)
+		// nextSlot dequeues the next reorder slot, flushing out's pending
+		// batch before blocking so released emissions never wait on an
+		// idle reorder queue.
+		nextSlot := func() (*boxSlot, bool) {
+			select {
+			case s, ok := <-slots:
+				return s, ok
+			default:
+			}
+			out.flush() // cancellation is handled by the send loop below
+			s, ok := <-slots
+			return s, ok
+		}
 		aborted := false
-		for s := range slots {
+		for {
+			s, ok := nextSlot()
+			if !ok {
+				return
+			}
 			if s.mk != nil {
-				if !aborted && !send(env, out, item{mk: s.mk}) {
+				if !aborted && !out.send(item{mk: s.mk}) {
 					aborted = true
 				}
 				continue
 			}
+			s.emit.autoFlush(out)
 			delivered, completed := 0, false
 			for !aborted {
-				select {
-				case it, ok := <-s.emit:
-					if !ok {
-						completed = s.em != nil && !s.em.stopped
+				it, ok := s.emit.recv()
+				if !ok {
+					if ctxDone(env.ctx) {
+						aborted = true
 						break
 					}
-					if send(env, out, it) {
-						delivered++
-						continue
-					}
-					aborted = true
-				case <-env.ctx.Done():
-					aborted = true
+					completed = s.em != nil && !s.em.stopped
+					break
 				}
-				break
+				if out.send(it) {
+					delivered++
+					continue
+				}
+				aborted = true
+			}
+			if aborted {
+				s.emit.Discard()
 			}
 			if delivered > 0 {
 				env.stats.Add("box."+b.label+".emitted", int64(delivered))
@@ -158,7 +179,7 @@ func (b *boxNode) runConcurrent(env *runEnv, in <-chan item, out chan<- item, wi
 		}
 	}
 	for {
-		it, ok := recv(env, in)
+		it, ok := in.recv()
 		if !ok {
 			break
 		}
@@ -177,18 +198,19 @@ func (b *boxNode) runConcurrent(env *runEnv, in <-chan item, out chan<- item, wi
 			env.stats.Add("box."+b.label+".rejected", 1)
 			continue
 		}
-		s := &boxSlot{emit: make(stream, env.buf)}
+		emitR, emitW := newStream(env)
+		s := &boxSlot{emit: emitR}
 		if !enqueue(s) {
 			break
 		}
-		if !dispatch(&boxCall{rec: rec, args: args, slot: s}) {
+		if !dispatch(&boxCall{rec: rec, args: args, emitW: emitW, slot: s}) {
 			// Cancelled between queueing the slot and handing the call to
 			// a worker; the releaser's recv is cancellation-aware, so the
 			// never-filled slot cannot wedge it.
 			break
 		}
 	}
-	drainTail(env, in)
+	in.Discard()
 	close(calls)
 	wg.Wait()
 	close(slots)

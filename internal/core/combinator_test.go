@@ -233,18 +233,20 @@ func (n *instanceNode) sig(*checker) (RecType, RecType) {
 	any := RecType{Variant{}}
 	return any, any
 }
-func (n *instanceNode) run(env *runEnv, in <-chan item, out chan<- item) {
-	defer close(out)
+func (n *instanceNode) run(env *runEnv, in *streamReader, out *streamWriter) {
+	defer out.close()
+	in.autoFlush(out)
 	id := int(instanceSeq.Add(1))
 	for {
-		it, ok := recv(env, in)
+		it, ok := in.recv()
 		if !ok {
 			return
 		}
 		if it.rec != nil {
 			it.rec.SetTag("instance", id)
 		}
-		if !send(env, out, it) {
+		if !out.send(it) {
+			in.Discard()
 			return
 		}
 	}

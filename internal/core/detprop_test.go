@@ -12,8 +12,10 @@ import (
 
 // Property-style determinism tests: for deterministic combinators the
 // rendered output stream must be byte-identical whatever the box
-// concurrency width and whatever latencies the invocations exhibit.  The
-// W=1 run defines the reference; W=4 and W=16 must reproduce it exactly.
+// concurrency width W, whatever the stream batch size B, and whatever
+// latencies the invocations exhibit.  The (W=1, B=1) run defines the
+// reference; every other (W, B) combination must reproduce it exactly —
+// in particular, sort markers must stay flush barriers at any B.
 
 // renderStream flattens a record sequence into one comparable string.
 func renderStream(recs []*Record) string {
@@ -44,22 +46,24 @@ func runDetProp(t *testing.T, mkNet func() Node, inputs func() []*Record) {
 	t.Helper()
 	var want string
 	for _, w := range []int{1, 4, 16} {
-		t.Run(fmt.Sprintf("W%d", w), func(t *testing.T) {
-			out, _, err := RunAll(context.Background(), mkNet(), inputs(),
-				WithBoxWorkers(w))
-			if err != nil {
-				t.Fatal(err)
-			}
-			got := renderStream(out)
-			if w == 1 {
-				want = got
-				return
-			}
-			if got != want {
-				t.Fatalf("W=%d output diverges from W=1 reference:\n--- want ---\n%s--- got ---\n%s",
-					w, want, got)
-			}
-		})
+		for _, b := range []int{1, 8, 64} {
+			t.Run(fmt.Sprintf("W%d_B%d", w, b), func(t *testing.T) {
+				out, _, err := RunAll(context.Background(), mkNet(), inputs(),
+					WithBoxWorkers(w), WithStreamBatch(b))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := renderStream(out)
+				if w == 1 && b == 1 {
+					want = got
+					return
+				}
+				if got != want {
+					t.Fatalf("W=%d B=%d output diverges from the (1,1) reference:\n--- want ---\n%s--- got ---\n%s",
+						w, b, want, got)
+				}
+			})
+		}
 	}
 }
 

@@ -54,16 +54,17 @@ func (f *filterNode) score(rec *Record) int {
 	return len(f.spec.Pattern.Variant)
 }
 
-func (f *filterNode) run(env *runEnv, in <-chan item, out chan<- item) {
-	defer close(out)
+func (f *filterNode) run(env *runEnv, in *streamReader, out *streamWriter) {
+	defer out.close()
+	in.autoFlush(out)
 	for {
-		it, ok := recv(env, in)
+		it, ok := in.recv()
 		if !ok {
 			return
 		}
 		if it.mk != nil {
-			if !send(env, out, it) {
-				drainTail(env, in)
+			if !out.send(it) {
+				in.Discard()
 				return
 			}
 			continue
@@ -72,8 +73,8 @@ func (f *filterNode) run(env *runEnv, in <-chan item, out chan<- item) {
 		env.trace(f.label, "in", rec)
 		if !f.spec.Pattern.Matches(rec) {
 			env.stats.Add("filter."+f.label+".nomatch", 1)
-			if !send(env, out, it) {
-				drainTail(env, in)
+			if !out.send(it) {
+				in.Discard()
 				return
 			}
 			continue
@@ -87,8 +88,8 @@ func (f *filterNode) run(env *runEnv, in <-chan item, out chan<- item) {
 		env.stats.Add("filter."+f.label+".applied", 1)
 		for _, o := range outs {
 			env.trace(f.label, "out", o)
-			if !sendRecord(env, out, o) {
-				drainTail(env, in)
+			if !out.sendRecord(o) {
+				in.Discard()
 				return
 			}
 		}

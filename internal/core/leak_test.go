@@ -142,6 +142,68 @@ func TestNoLeakMidStreamCancel(t *testing.T) {
 	}
 }
 
+// earlyStopNode forwards the first `limit` records, then stops consuming —
+// the deterministic early-exit case for the Discard accounting: everything
+// the upstream delivers after the limit must be drained and counted.
+type earlyStopNode struct{ limit int }
+
+func (n *earlyStopNode) name() string   { return "earlystop" }
+func (n *earlyStopNode) String() string { return "earlystop" }
+func (n *earlyStopNode) sig(*checker) (RecType, RecType) {
+	any := RecType{Variant{}}
+	return any, any
+}
+
+func (n *earlyStopNode) run(env *runEnv, in *streamReader, out *streamWriter) {
+	defer out.close()
+	in.autoFlush(out)
+	seen := 0
+	for seen < n.limit {
+		it, ok := in.recv()
+		if !ok {
+			return
+		}
+		if it.rec != nil {
+			seen++
+		}
+		if !out.send(it) {
+			break
+		}
+	}
+	in.Discard()
+}
+
+// Tail-draining is accounted: a node that exits early hands its input to
+// streamReader.Discard, and the records thrown away show up under
+// "stream.discarded" — no anonymous goroutines silently eating streams.
+func TestDiscardedRecordsCounted(t *testing.T) {
+	base := goroutineCount()
+	const total, kept = 12, 5
+	n := Serial(&earlyStopNode{limit: kept}, incBox("dc", 1))
+	inputs := seqInputs(total, func(i int, r *Record) { r.SetTag("n", i) })
+	out, stats, err := RunAll(context.Background(), n, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != kept {
+		t.Fatalf("got %d records, want %d", len(out), kept)
+	}
+	// The background drainer folds its count when the stream closes; give
+	// it a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for stats.Counter("stream.discarded") != total-kept {
+		if time.Now().After(deadline) {
+			t.Fatalf("stream.discarded = %d, want %d",
+				stats.Counter("stream.discarded"), total-kept)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if fr := stats.Counter("stream.frames"); fr == 0 {
+		t.Fatal("transport counters missing: stream.frames = 0")
+	}
+	waitForGoroutines(t, base+3)
+}
+
 func TestNoLeakUnconsumedOutput(t *testing.T) {
 	// Cancel with records still queued in the output adapter and a
 	// sender still blocked on backpressure; h.Out() is never read.

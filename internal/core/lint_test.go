@@ -1,0 +1,45 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The record plane's channel is an implementation detail of stream.go: every
+// node communicates through streamReader/streamWriter, never over a raw
+// item channel.  This lint pins the boundary so a future node cannot
+// quietly regrow its own channel plumbing (and with it its own flush,
+// marker and drain bugs).
+func TestNoRawItemChannelsOutsideStream(t *testing.T) {
+	forbidden := regexp.MustCompile(`chan\s+item\b|chan\s*<-\s*item\b|<-\s*chan\s+item\b|make\(chan\s+frame|chan\s+frame\b`)
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 10 {
+		t.Fatalf("suspiciously few files globbed: %v", files)
+	}
+	for _, f := range files {
+		// stream.go owns the channel; its white-box test may build
+		// harness channels of its own.
+		if f == "stream.go" || f == "stream_test.go" {
+			continue
+		}
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			if idx := strings.Index(line, "//"); idx >= 0 {
+				line = line[:idx]
+			}
+			if forbidden.MatchString(line) {
+				t.Errorf("%s:%d: raw item/frame channel outside stream.go: %s",
+					f, i+1, strings.TrimSpace(line))
+			}
+		}
+	}
+}

@@ -23,6 +23,12 @@ import "sort"
 // Markers originating from an enclosing deterministic combinator ("foreign"
 // markers) are broadcast and merged exactly the same way, which makes inner
 // combinators — deterministic or not — order-transparent to outer ones.
+//
+// Transport note: branch inputs are batched streams, but markers are flush
+// barriers (stream.go), so a broadcast marker — and every record routed
+// before it — reaches each branch without waiting for the batch to fill.
+// The liveness of the sort-record protocol is therefore independent of the
+// batch size B.
 
 // branch event kinds flowing into the merger.
 const (
@@ -41,27 +47,31 @@ type branchEvent struct {
 	it   item // evItem payload; evMarker identity (it.mk)
 }
 
-// branchPort is the splitter's handle to one branch.
+// branchPort is the splitter's handle to one branch: the writing end of the
+// branch's input stream.
 type branchPort struct {
 	id int
-	in stream
+	w  *streamWriter
 }
 
 // fanout is the splitter half: it owns branch creation, routing and marker
 // broadcast.  All methods are called from the combinator's run goroutine
-// only.
+// only; branch-input writers are registered with the combinator's input
+// reader so records buffered for a branch are flushed whenever the splitter
+// waits for more input.
 type fanout struct {
 	env       *runEnv
 	det       bool
 	level     int // own marker level (det only)
 	ownTicket uint64
 	mux       chan branchEvent
+	in        *streamReader // the combinator's input, for autoFlush wiring
 	branches  []*branchPort
 	markers   int // global marker count broadcast so far
 }
 
-func newFanout(env *runEnv, det bool) *fanout {
-	f := &fanout{env: env, det: det, mux: make(chan branchEvent, env.buf+4)}
+func newFanout(env *runEnv, det bool, in *streamReader) *fanout {
+	f := &fanout{env: env, det: det, in: in, mux: make(chan branchEvent, env.buf+4)}
 	if det {
 		f.level = env.newLevel()
 	}
@@ -82,25 +92,27 @@ func (f *fanout) sendEv(e branchEvent) bool {
 // passthrough (used for the exit path of serial replication).  It returns
 // the port for routing.
 func (f *fanout) addBranch(n Node) *branchPort {
-	port := &branchPort{id: len(f.branches), in: make(stream, f.env.buf)}
+	inR, inW := newStream(f.env)
+	port := &branchPort{id: len(f.branches), w: inW}
 	f.branches = append(f.branches, port)
+	f.in.autoFlush(inW)
 	f.sendEv(branchEvent{kind: evRegister, id: port.id, join: f.markers})
-	var branchOut <-chan item
+	var branchOut *streamReader
 	if n == nil {
-		branchOut = port.in
+		branchOut = inR
 	} else {
-		out := make(stream, f.env.buf)
-		go n.run(f.env, port.in, out)
-		branchOut = out
+		outR, outW := newStream(f.env)
+		go n.run(f.env, inR, outW)
+		branchOut = outR
 	}
 	go f.pump(port.id, branchOut)
 	return port
 }
 
 // pump forwards one branch's output into the merger mux.
-func (f *fanout) pump(id int, ch <-chan item) {
+func (f *fanout) pump(id int, r *streamReader) {
 	for {
-		it, ok := recv(f.env, ch)
+		it, ok := r.recv()
 		if !ok {
 			break
 		}
@@ -113,7 +125,7 @@ func (f *fanout) pump(id int, ch <-chan item) {
 
 // route sends a data record into a branch; false on cancellation.
 func (f *fanout) route(port *branchPort, r *Record) bool {
-	return send(f.env, port.in, item{rec: r})
+	return port.w.sendRecord(r)
 }
 
 // afterRoute emits the per-record sort marker in deterministic mode.
@@ -135,7 +147,7 @@ func (f *fanout) broadcast(mk *marker) bool {
 		return false
 	}
 	for _, port := range f.branches {
-		if !send(f.env, port.in, item{mk: mk}) {
+		if !port.w.send(item{mk: mk}) {
 			return false
 		}
 	}
@@ -146,7 +158,7 @@ func (f *fanout) broadcast(mk *marker) bool {
 // markers will appear.
 func (f *fanout) finish() {
 	for _, port := range f.branches {
-		close(port.in)
+		port.w.close()
 	}
 	f.sendEv(branchEvent{kind: evDone})
 }
@@ -164,10 +176,10 @@ type mergerBranch struct {
 func (b *mergerBranch) lastGlobalMarker() int { return b.join + b.markersSeen }
 
 // mergeLoop is the merger half; the combinator runs it in a dedicated
-// goroutine.  It writes merged output to out and returns when the splitter
-// is done and all branches have closed (or on cancellation).  The caller
-// closes out.
-func (f *fanout) mergeLoop(out chan<- item, ownLevel int) {
+// goroutine, which owns the out writer until mergeLoop returns.  It writes
+// merged output to out and returns when the splitter is done and all
+// branches have closed (or on cancellation).  The caller closes out.
+func (f *fanout) mergeLoop(out *streamWriter, ownLevel int) {
 	var (
 		branches     []*mergerBranch
 		markerIDs    = map[int]*marker{}
@@ -175,9 +187,32 @@ func (f *fanout) mergeLoop(out chan<- item, ownLevel int) {
 		emitted      int
 		done         bool
 	)
+	// nextEvent receives from the mux, flushing out's pending batch before
+	// blocking so merged records never wait on merger idleness.
+	nextEvent := func() (branchEvent, bool) {
+		select {
+		case e := <-f.mux:
+			return e, true
+		case <-f.env.ctx.Done():
+			return branchEvent{}, false
+		default:
+		}
+		if !out.flush() {
+			return branchEvent{}, false
+		}
+		select {
+		case e := <-f.mux:
+			return e, true
+		case <-f.env.ctx.Done():
+			return branchEvent{}, false
+		}
+	}
+	// A nil entry in branches is a branch whose evRegister lost the
+	// cancellation race in sendEv while later events survived; the run is
+	// being abandoned, so every walk below skips it.
 	allClosed := func() bool {
 		for _, b := range branches {
-			if !b.closed {
+			if b != nil && !b.closed {
 				return false
 			}
 		}
@@ -185,7 +220,7 @@ func (f *fanout) mergeLoop(out chan<- item, ownLevel int) {
 	}
 	regionComplete := func(next int) bool {
 		for _, b := range branches {
-			if b.join >= next || b.closed {
+			if b == nil || b.join >= next || b.closed {
 				continue
 			}
 			if b.lastGlobalMarker() < next {
@@ -196,8 +231,11 @@ func (f *fanout) mergeLoop(out chan<- item, ownLevel int) {
 	}
 	emitRegion := func(next int) bool {
 		for _, b := range branches {
+			if b == nil {
+				continue
+			}
 			for _, r := range b.regions[next] {
-				if !sendRecord(f.env, out, r) {
+				if !out.sendRecord(r) {
 					return false
 				}
 			}
@@ -206,7 +244,7 @@ func (f *fanout) mergeLoop(out chan<- item, ownLevel int) {
 		mk := markerIDs[next]
 		delete(markerIDs, next)
 		if mk != nil && mk.level != ownLevel {
-			if !send(f.env, out, item{mk: mk}) {
+			if !out.send(item{mk: mk}) {
 				return false
 			}
 		}
@@ -233,6 +271,9 @@ func (f *fanout) mergeLoop(out chan<- item, ownLevel int) {
 	// (or all data, in runs without any markers), in branch order.
 	flushTails := func() bool {
 		for _, b := range branches {
+			if b == nil {
+				continue
+			}
 			keys := make([]int, 0, len(b.regions))
 			for k := range b.regions {
 				keys = append(keys, k)
@@ -240,7 +281,7 @@ func (f *fanout) mergeLoop(out chan<- item, ownLevel int) {
 			sort.Ints(keys)
 			for _, k := range keys {
 				for _, r := range b.regions[k] {
-					if !sendRecord(f.env, out, r) {
+					if !out.sendRecord(r) {
 						return false
 					}
 				}
@@ -250,73 +291,70 @@ func (f *fanout) mergeLoop(out chan<- item, ownLevel int) {
 		return true
 	}
 	for {
-		select {
-		case <-f.env.ctx.Done():
+		e, ok := nextEvent()
+		if !ok {
 			return
-		case e := <-f.mux:
-			switch e.kind {
-			case evRegister:
-				for len(branches) <= e.id {
-					branches = append(branches, nil)
-				}
-				branches[e.id] = &mergerBranch{join: e.join, regions: map[int][]*Record{}}
-			case evItem:
-				// During cancellation sendEv may drop an
-				// evRegister (its select races ctx.Done against
-				// the mux send) while a later evItem still gets
-				// through; the run is being abandoned, so drop
-				// such orphaned events.
-				if e.id >= len(branches) || branches[e.id] == nil {
-					break
-				}
-				b := branches[e.id]
-				if e.it.mk != nil {
-					b.markersSeen++
-					if !tryAdvance() {
-						return
-					}
-					break
-				}
-				region := b.lastGlobalMarker() + 1
-				// Nondeterministic merging forwards eagerly, but
-				// only within the currently open marker region —
-				// data from later regions must wait so that an
-				// enclosing deterministic combinator sees a
-				// correctly ordered marker/data interleaving.
-				// Deterministic merging always buffers, emitting
-				// whole regions in branch order.
-				if !f.det && region == emitted+1 {
-					if !send(f.env, out, e.it) {
-						return
-					}
-					break
-				}
-				b.regions[region] = append(b.regions[region], e.it.rec)
-			case evMarker:
-				totalMarkers = e.seq
-				markerIDs[e.seq] = e.it.mk
-				if !tryAdvance() {
-					return
-				}
-			case evClosed:
-				if e.id >= len(branches) || branches[e.id] == nil {
-					break // see evItem: cancellation orphan
-				}
-				branches[e.id].closed = true
-				if !tryAdvance() {
-					return
-				}
-			case evDone:
-				done = true
+		}
+		switch e.kind {
+		case evRegister:
+			for len(branches) <= e.id {
+				branches = append(branches, nil)
 			}
-			if done && allClosed() {
+			branches[e.id] = &mergerBranch{join: e.join, regions: map[int][]*Record{}}
+		case evItem:
+			// During cancellation sendEv may drop an evRegister (its
+			// select races ctx.Done against the mux send) while a later
+			// evItem still gets through; the run is being abandoned, so
+			// drop such orphaned events.
+			if e.id >= len(branches) || branches[e.id] == nil {
+				break
+			}
+			b := branches[e.id]
+			if e.it.mk != nil {
+				b.markersSeen++
 				if !tryAdvance() {
 					return
 				}
-				if emitted == totalMarkers {
-					flushTails()
+				break
+			}
+			region := b.lastGlobalMarker() + 1
+			// Nondeterministic merging forwards eagerly, but only within
+			// the currently open marker region — data from later regions
+			// must wait so that an enclosing deterministic combinator
+			// sees a correctly ordered marker/data interleaving.
+			// Deterministic merging always buffers, emitting whole
+			// regions in branch order.
+			if !f.det && region == emitted+1 {
+				if !out.send(e.it) {
 					return
 				}
+				break
+			}
+			b.regions[region] = append(b.regions[region], e.it.rec)
+		case evMarker:
+			totalMarkers = e.seq
+			markerIDs[e.seq] = e.it.mk
+			if !tryAdvance() {
+				return
+			}
+		case evClosed:
+			if e.id >= len(branches) || branches[e.id] == nil {
+				break // see evItem: cancellation orphan
+			}
+			branches[e.id].closed = true
+			if !tryAdvance() {
+				return
+			}
+		case evDone:
+			done = true
+		}
+		if done && allClosed() {
+			if !tryAdvance() {
+				return
+			}
+			if emitted == totalMarkers {
+				flushTails()
+				return
 			}
 		}
 	}

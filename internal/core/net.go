@@ -15,7 +15,7 @@ import (
 type Handle struct {
 	env    *runEnv
 	cancel context.CancelFunc
-	in     stream
+	in     *streamWriter
 	outRec chan *Record
 	done   chan struct{}
 
@@ -44,6 +44,7 @@ func Start(ctx context.Context, root Node, opts ...Option) *Handle {
 		ctx:        ctx,
 		stats:      newStats(),
 		buf:        32,
+		batch:      envStreamBatch(),
 		maxDepth:   1 << 20,
 		maxWidth:   1 << 20,
 		boxWorkers: runtime.GOMAXPROCS(0),
@@ -51,20 +52,24 @@ func Start(ctx context.Context, root Node, opts ...Option) *Handle {
 	for _, o := range opts {
 		o(env)
 	}
+	// The boundary input stream is written through sendDirect only (one
+	// frame per record, safe for concurrent client senders); batching
+	// starts at the first internal hop.
+	inR, inW := newStream(env)
 	h := &Handle{
 		env:    env,
 		cancel: cancel,
-		in:     make(stream, env.buf),
+		in:     inW,
 		outRec: make(chan *Record, env.buf),
 		done:   make(chan struct{}),
 	}
-	netOut := make(stream, env.buf)
-	go root.run(env, h.in, netOut)
+	netOutR, netOutW := newStream(env)
+	go root.run(env, inR, netOutW)
 	go func() {
 		defer close(h.done)
 		defer close(h.outRec)
 		for {
-			it, ok := recv(env, netOut)
+			it, ok := netOutR.recv()
 			if !ok {
 				return
 			}
@@ -88,6 +93,28 @@ func (h *Handle) Send(r *Record) error {
 	return h.SendCtx(context.Background(), r)
 }
 
+// acquireSend registers one in-flight send in sendState, refusing after
+// Close; every successful acquire must be paired with releaseSend.
+func (h *Handle) acquireSend() error {
+	for {
+		s := h.sendState.Load()
+		if s&closedBit != 0 {
+			return ErrClosed
+		}
+		if h.sendState.CompareAndSwap(s, s+1) {
+			return nil
+		}
+	}
+}
+
+// releaseSend retires one in-flight send; if Close arrived mid-send, the
+// last sender out closes the input stream.
+func (h *Handle) releaseSend() {
+	if h.sendState.Add(-1) == closedBit {
+		h.in.close()
+	}
+}
+
 // SendCtx is Send with an additional caller context: it unblocks with the
 // caller's context error if ctx is cancelled while waiting on backpressure,
 // without affecting the run.  A cancelled *run* reports ErrCancelled, so
@@ -95,28 +122,30 @@ func (h *Handle) Send(r *Record) error {
 // the building block for serving one network to many independent clients,
 // each with its own deadline.
 func (h *Handle) SendCtx(ctx context.Context, r *Record) error {
-	for {
-		s := h.sendState.Load()
-		if s&closedBit != 0 {
-			return ErrClosed
-		}
-		if h.sendState.CompareAndSwap(s, s+1) {
-			break
-		}
+	if err := h.acquireSend(); err != nil {
+		return err
 	}
-	defer func() {
-		if h.sendState.Add(-1) == closedBit {
-			close(h.in) // Close arrived mid-send; last sender out closes
-		}
-	}()
-	select {
-	case h.in <- item{rec: r}:
-		return nil
-	case <-h.env.ctx.Done():
-		return ErrCancelled
-	case <-ctx.Done():
-		return ctx.Err()
+	defer h.releaseSend()
+	return h.in.sendDirect(ctx, item{rec: r})
+}
+
+// SendBatch injects a burst of records as ready-made frames of the run's
+// batch size — the boundary counterpart of the internal frame transport.
+// One SendBatch call costs ⌈len(recs)/B⌉ channel synchronizations instead
+// of len(recs); use it when records arrive together anyway (a file of
+// inputs, an HTTP request carrying a record array).  Like Send it blocks on
+// backpressure, honours ctx, and fails with ErrClosed after Close.  It
+// returns how many records entered the network — all of them unless err is
+// non-nil.
+func (h *Handle) SendBatch(ctx context.Context, recs []*Record) (int, error) {
+	if len(recs) == 0 {
+		return 0, nil
 	}
+	if err := h.acquireSend(); err != nil {
+		return 0, err
+	}
+	defer h.releaseSend()
+	return h.in.sendBatchDirect(ctx, recs)
 }
 
 // Close signals end-of-input.  It is idempotent, never blocks, and is safe
@@ -131,7 +160,7 @@ func (h *Handle) Close() {
 		}
 		if h.sendState.CompareAndSwap(s, s|closedBit) {
 			if s == 0 {
-				close(h.in) // no send in flight
+				h.in.close() // no send in flight
 			}
 			return
 		}
@@ -158,10 +187,8 @@ func RunAll(ctx context.Context, root Node, inputs []*Record, opts ...Option) ([
 	h := Start(ctx, root, opts...)
 	defer h.Cancel()
 	go func() {
-		for _, r := range inputs {
-			if h.Send(r) != nil {
-				return
-			}
+		if _, err := h.SendBatch(context.Background(), inputs); err != nil {
+			return
 		}
 		h.Close()
 	}()
@@ -182,10 +209,8 @@ func RunUntil(ctx context.Context, root Node, inputs []*Record, stop func(*Recor
 	h := Start(ctx, root, opts...)
 	defer h.Cancel()
 	go func() {
-		for _, r := range inputs {
-			if h.Send(r) != nil {
-				return
-			}
+		if _, err := h.SendBatch(context.Background(), inputs); err != nil {
+			return
 		}
 		h.Close()
 	}()

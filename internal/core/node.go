@@ -17,9 +17,11 @@ type Node interface {
 	// name returns the node's stats/trace identity.
 	name() string
 	// run consumes in until it closes or the run is cancelled, writing
-	// results to out; it must close out before returning and must
-	// forward foreign control markers in FIFO position.
-	run(env *runEnv, in <-chan item, out chan<- item)
+	// results to out; it must close out before returning, must forward
+	// foreign control markers in FIFO position, and must hand in to
+	// in.Discard() on every early-exit path so upstream senders never
+	// block on a stream nobody reads.
+	run(env *runEnv, in *streamReader, out *streamWriter)
 	// sig returns the node's inferred type signature, collecting
 	// diagnostics into c (which may be nil).
 	sig(c *checker) (in, out RecType)
@@ -52,10 +54,11 @@ func Observe(label string, fn func(*Record)) Node {
 func (n *identityNode) name() string   { return n.label }
 func (n *identityNode) String() string { return "observe(" + n.label + ")" }
 
-func (n *identityNode) run(env *runEnv, in <-chan item, out chan<- item) {
-	defer close(out)
+func (n *identityNode) run(env *runEnv, in *streamReader, out *streamWriter) {
+	defer out.close()
+	in.autoFlush(out)
 	for {
-		it, ok := recv(env, in)
+		it, ok := in.recv()
 		if !ok {
 			return
 		}
@@ -65,8 +68,8 @@ func (n *identityNode) run(env *runEnv, in <-chan item, out chan<- item) {
 				n.fn(it.rec)
 			}
 		}
-		if !send(env, out, it) {
-			drainTail(env, in)
+		if !out.send(it) {
+			in.Discard()
 			return
 		}
 	}

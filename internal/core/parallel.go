@@ -70,9 +70,9 @@ type recordScorer interface {
 	score(rec *Record) int
 }
 
-func (n *parallelNode) run(env *runEnv, in <-chan item, out chan<- item) {
-	defer close(out)
-	f := newFanout(env, n.det)
+func (n *parallelNode) run(env *runEnv, in *streamReader, out *streamWriter) {
+	defer out.close()
+	f := newFanout(env, n.det, in)
 	ports := make([]*branchPort, len(n.branches))
 	scorers := make([]func(*Record) int, len(n.branches))
 	for i, b := range n.branches {
@@ -92,7 +92,7 @@ func (n *parallelNode) run(env *runEnv, in <-chan item, out chan<- item) {
 	// Per-run rotation counter for nondeterministic tie-breaking.
 	rr := 0
 	for {
-		it, ok := recv(env, in)
+		it, ok := in.recv()
 		if !ok {
 			break
 		}
@@ -138,7 +138,7 @@ func (n *parallelNode) run(env *runEnv, in <-chan item, out chan<- item) {
 			break
 		}
 	}
-	drainTail(env, in)
+	in.Discard()
 	f.finish()
 	<-mergeDone
 }

@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -142,7 +144,8 @@ type runEnv struct {
 	stats      *Stats
 	tracer     Tracer
 	onError    func(error)
-	buf        int
+	buf        int          // stream buffer capacity, in frames
+	batch      int          // stream batch size B (items per frame, >= 1)
 	levelSeq   atomic.Int64 // deterministic-combinator level ids
 	maxDepth   int          // serial replication unfolding cap
 	maxWidth   int          // parallel replication width cap
@@ -167,11 +170,48 @@ func (e *runEnv) trace(node, dir string, rec *Record) {
 // Option configures a network run.
 type Option func(*runEnv)
 
-// WithBuffer sets the stream buffer capacity (default 32).
+// WithBuffer sets the stream buffer capacity in frames (default 32;
+// 0 selects fully synchronous handoff).  WithStreamBuffer is the same knob
+// under its transport-layer name.
 func WithBuffer(n int) Option {
 	return func(e *runEnv) {
 		if n >= 0 {
 			e.buf = n
+		}
+	}
+}
+
+// WithStreamBuffer sets the per-stream buffer capacity in frames.  Total
+// in-flight records per stream are bounded by roughly buffer × batch.
+func WithStreamBuffer(n int) Option { return WithBuffer(n) }
+
+// DefaultStreamBatch is the stream batch size B applied when neither
+// WithStreamBatch nor the SNET_STREAM_BATCH environment variable selects
+// one.  Flushing is adaptive (see stream.go), so a larger B never delays a
+// record behind traffic that is not coming — it only lets hot streams
+// amortize channel synchronization B-fold.
+const DefaultStreamBatch = 8
+
+// envStreamBatch reads the SNET_STREAM_BATCH override once per process; it
+// lets deployments and CI sweep the batch size without recompiling.
+var envStreamBatch = sync.OnceValue(func() int {
+	if s := os.Getenv("SNET_STREAM_BATCH"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return DefaultStreamBatch
+})
+
+// WithStreamBatch sets the stream batch size B: the maximum number of items
+// (records and markers) a stream writer coalesces into one frame, i.e. one
+// channel synchronization.  1 restores unbatched per-record handoff;
+// markers and idle inputs always flush early, so deterministic-merge
+// liveness and low-load latency are independent of B.
+func WithStreamBatch(n int) Option {
+	return func(e *runEnv) {
+		if n >= 1 {
+			e.batch = n
 		}
 	}
 }

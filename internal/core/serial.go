@@ -37,18 +37,19 @@ func (s *serialNode) sig(c *checker) (RecType, RecType) {
 	return aIn, bOut
 }
 
-func (s *serialNode) run(env *runEnv, in <-chan item, out chan<- item) {
-	mid := make(stream, env.buf)
+func (s *serialNode) run(env *runEnv, in *streamReader, out *streamWriter) {
+	midR, midW := newStream(env)
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		s.a.run(env, in, mid)
+		s.a.run(env, in, midW)
 	}()
-	s.b.run(env, mid, out)
+	s.b.run(env, midR, out)
 	// If b stopped early (cancellation) a may still be blocked sending to
-	// mid; the cancel path in send unblocks it.  Wait so run has no
-	// stragglers once it returns.
-	drainTail(env, mid)
+	// mid; Discard is idempotent, so this is safe whether or not b already
+	// detached a drainer itself.  Wait so run has no stragglers once it
+	// returns.
+	midR.Discard()
 	wg.Wait()
 }

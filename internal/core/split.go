@@ -60,9 +60,9 @@ func (n *splitNode) sig(c *checker) (RecType, RecType) {
 	return in, opOut
 }
 
-func (n *splitNode) run(env *runEnv, in <-chan item, out chan<- item) {
-	defer close(out)
-	f := newFanout(env, n.det)
+func (n *splitNode) run(env *runEnv, in *streamReader, out *streamWriter) {
+	defer out.close()
+	f := newFanout(env, n.det, in)
 	ports := map[int]*branchPort{}
 	mergeDone := make(chan struct{})
 	go func() {
@@ -70,7 +70,7 @@ func (n *splitNode) run(env *runEnv, in <-chan item, out chan<- item) {
 		close(mergeDone)
 	}()
 	for {
-		it, ok := recv(env, in)
+		it, ok := in.recv()
 		if !ok {
 			break
 		}
@@ -105,7 +105,7 @@ func (n *splitNode) run(env *runEnv, in <-chan item, out chan<- item) {
 			break
 		}
 	}
-	drainTail(env, in)
+	in.Discard()
 	f.finish()
 	<-mergeDone
 }

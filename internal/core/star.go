@@ -63,9 +63,9 @@ func (n *starNode) sig(c *checker) (RecType, RecType) {
 	return in, out
 }
 
-func (n *starNode) run(env *runEnv, in <-chan item, out chan<- item) {
-	defer close(out)
-	f := newFanout(env, n.det)
+func (n *starNode) run(env *runEnv, in *streamReader, out *streamWriter) {
+	defer out.close()
+	f := newFanout(env, n.det, in)
 	exitPort := f.addBranch(nil) // branch 0: records leaving the chain here
 	var chainPort *branchPort    // branch 1: operand .. star(depth+1), lazy
 	mergeDone := make(chan struct{})
@@ -74,7 +74,7 @@ func (n *starNode) run(env *runEnv, in <-chan item, out chan<- item) {
 		close(mergeDone)
 	}()
 	for {
-		it, ok := recv(env, in)
+		it, ok := in.recv()
 		if !ok {
 			break
 		}
@@ -109,7 +109,7 @@ func (n *starNode) run(env *runEnv, in <-chan item, out chan<- item) {
 			break
 		}
 	}
-	drainTail(env, in)
+	in.Discard()
 	f.finish()
 	<-mergeDone
 }

@@ -1,6 +1,38 @@
 package core
 
-import "context"
+import (
+	"context"
+	"sync/atomic"
+)
+
+// This file is the record plane's transport layer.  Nodes do not exchange
+// items over raw channels: they communicate through a streamReader /
+// streamWriter pair moving frames — batches of items — over one buffered
+// channel, so a hot stream costs one channel synchronization per frame
+// instead of one per record.  The batch size B (WithStreamBatch) bounds how
+// many items a writer may coalesce; flushing is adaptive so latency stays
+// flat when traffic is light:
+//
+//   - Batch-full flush: the pending batch reaches B → blocking flush.
+//   - Idle flush: a node about to block on its input reader first flushes
+//     the writers it owns (streamReader.autoFlush), so a record never waits
+//     on traffic that is not coming.
+//   - Barrier flush: a sort marker of the deterministic-merge protocol, and
+//     close, flush immediately.  Markers delimit merge regions; holding one
+//     back would stall every merger waiting on it, so the marker-barrier
+//     rule is what keeps the determinism protocol live at any B.
+//
+// Because pending items are flushed in FIFO position, a marker's barrier
+// flush also delivers every record buffered before it — mergers always see
+// a region's data before the marker that closes it, exactly as with
+// unbatched streams.
+//
+// Ownership rule: a streamWriter is single-goroutine — only the goroutine
+// that writes a stream may send, flush or close it (sendDirect is the one
+// exception: it bypasses the pending batch entirely so the network boundary
+// can accept records from many client goroutines).  autoFlush registrations
+// must respect this: only register writers owned by the goroutine that
+// reads the stream.
 
 // item is one element on a stream: either a data record or a control marker
 // ("sort record") of the deterministic-merge protocol.  Exactly one of rec
@@ -20,59 +52,318 @@ type marker struct {
 	ticket uint64
 }
 
-// stream is the channel type connecting nodes.
-type stream chan item
+// frame is one transport unit: either a single inline item (the common case
+// under light load, and always at B=1 — no per-record allocation) or a batch
+// of items handed off by a writer's flush.
+type frame struct {
+	single item
+	batch  []item // nil: the payload is single
+}
 
-// send delivers an item respecting cancellation; it reports false when the
-// environment is cancelled.
-func send(env *runEnv, out chan<- item, it item) bool {
-	select {
-	case out <- it:
+// newStream creates one connected reader/writer pair with the run's frame
+// buffer capacity and batch size.
+func newStream(env *runEnv) (*streamReader, *streamWriter) {
+	ch := make(chan frame, env.buf)
+	r := &streamReader{env: env, ch: ch}
+	w := &streamWriter{env: env, ch: ch, batch: env.batch}
+	return r, w
+}
+
+// streamWriter is the producing end of a stream.  All methods except
+// sendDirect must be called from the single goroutine that owns the writer.
+type streamWriter struct {
+	env     *runEnv
+	ch      chan frame
+	batch   int    // flush threshold B (>= 1)
+	pending []item // items accumulated since the last flush
+	closed  bool
+
+	// Transport counters, kept local (no locks on the hot path) and folded
+	// into the run's Stats by close: frames/records delivered and the
+	// per-stream frame-size high-water mark.  directRecords is atomic —
+	// sendDirect accepts concurrent boundary senders.
+	frames        int64
+	records       int64
+	hwm           int
+	directRecords int64
+	directFrames  int64
+}
+
+// send appends one item to the stream, flushing per the adaptive policy.
+// It reports false when the run has been cancelled.
+func (w *streamWriter) send(it item) bool {
+	if it.rec != nil {
+		w.records++
+	}
+	if w.batch <= 1 && len(w.pending) == 0 {
+		// Unbatched stream: ship the item inline, no allocation.
+		return w.ship(frame{single: it})
+	}
+	if w.pending == nil {
+		w.pending = make([]item, 0, w.batch)
+	}
+	w.pending = append(w.pending, it)
+	if it.mk != nil || len(w.pending) >= w.batch {
+		return w.flush()
+	}
+	return true
+}
+
+// sendRecord is send for data records.
+func (w *streamWriter) sendRecord(r *Record) bool {
+	return w.send(item{rec: r})
+}
+
+// flush delivers the pending batch downstream (blocking); it is a no-op
+// with nothing pending and reports false when the run has been cancelled.
+func (w *streamWriter) flush() bool {
+	n := len(w.pending)
+	if n == 0 {
 		return true
-	case <-env.ctx.Done():
+	}
+	var f frame
+	if n == 1 {
+		// Single-item batch: ship inline and reuse the buffer, so light
+		// traffic over a batched stream does not allocate per record.
+		f = frame{single: w.pending[0]}
+		w.pending = w.pending[:0]
+	} else {
+		f = frame{batch: w.pending}
+		w.pending = nil
+	}
+	return w.ship(f)
+}
+
+// ship performs the channel handoff of one frame.  The transport counters
+// settle here, on delivery: a frame dropped by cancellation retracts its
+// records so "stream.records" reflects only what reached the channel.
+func (w *streamWriter) ship(f frame) bool {
+	select {
+	case w.ch <- f:
+		n := len(f.batch)
+		if n == 0 {
+			n = 1
+		}
+		if n > w.hwm {
+			w.hwm = n
+		}
+		w.frames++
+		return true
+	case <-w.env.ctx.Done():
+		if f.batch == nil {
+			if f.single.rec != nil {
+				w.records--
+			}
+		} else {
+			for _, it := range f.batch {
+				if it.rec != nil {
+					w.records--
+				}
+			}
+		}
 		return false
 	}
 }
 
-// sendRecord is send for data records.
-func sendRecord(env *runEnv, out chan<- item, r *Record) bool {
-	return send(env, out, item{rec: r})
+// sendDirect delivers one record immediately, bypassing the pending batch,
+// honouring both the run context and an additional caller context.  It is
+// safe for concurrent use as long as no goroutine uses the batched send on
+// the same writer — the network boundary's contract (net.go).  The returned
+// error is nil, ErrCancelled (run cancelled) or the caller context's error.
+func (w *streamWriter) sendDirect(ctx context.Context, it item) error {
+	if it.rec != nil {
+		atomic.AddInt64(&w.directRecords, 1)
+	}
+	select {
+	case w.ch <- frame{single: it}:
+		atomic.AddInt64(&w.directFrames, 1)
+		return nil
+	case <-w.env.ctx.Done():
+		return ErrCancelled
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
-// recv receives the next item respecting cancellation; ok is false when the
-// stream is closed or the run cancelled.
-func recv(env *runEnv, in <-chan item) (item, bool) {
+// sendBatchDirect ships a burst of records as frames of up to batch items,
+// bypassing the pending buffer (so, like sendDirect, it tolerates
+// concurrent callers).  It returns how many records were delivered — on
+// error that is a frame-aligned prefix of recs.
+func (w *streamWriter) sendBatchDirect(ctx context.Context, recs []*Record) (int, error) {
+	b := w.batch
+	if b < 1 {
+		b = 1
+	}
+	sent := 0
+	for sent < len(recs) {
+		n := b
+		if n > len(recs)-sent {
+			n = len(recs) - sent
+		}
+		var f frame
+		if n == 1 {
+			f = frame{single: item{rec: recs[sent]}}
+		} else {
+			batch := make([]item, n)
+			for i, r := range recs[sent : sent+n] {
+				batch[i] = item{rec: r}
+			}
+			f = frame{batch: batch}
+		}
+		select {
+		case w.ch <- f:
+		case <-w.env.ctx.Done():
+			return sent, ErrCancelled
+		case <-ctx.Done():
+			return sent, ctx.Err()
+		}
+		atomic.AddInt64(&w.directRecords, int64(n))
+		atomic.AddInt64(&w.directFrames, 1)
+		sent += n
+	}
+	return sent, nil
+}
+
+// close flushes pending items, closes the channel, and folds the writer's
+// transport counters into the run's Stats.  Idempotent.
+func (w *streamWriter) close() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	w.flush()
+	close(w.ch)
+	frames := w.frames + atomic.LoadInt64(&w.directFrames)
+	records := w.records + atomic.LoadInt64(&w.directRecords)
+	if frames > 0 {
+		w.env.stats.Add("stream.frames", frames)
+		w.env.stats.Add("stream.records", records)
+		w.env.stats.SetMax("stream.frame.hwm", int64(w.hwm))
+	}
+}
+
+// streamReader is the consuming end of a stream.  All methods must be
+// called from the single goroutine that owns the reader — until Discard,
+// which detaches ownership to a background drainer.
+type streamReader struct {
+	env *runEnv
+	ch  chan frame
+	cur []item // remainder of the current multi-item frame
+	pos int
+
+	// onIdle holds the writers this reader's goroutine owns; recv flushes
+	// them before blocking, which is the adaptive policy's idle flush.
+	onIdle     []*streamWriter
+	discarding atomic.Bool
+}
+
+// autoFlush registers a writer to be flushed whenever recv is about to
+// block.  The writer must be owned by the same goroutine that reads from r.
+func (r *streamReader) autoFlush(ws ...*streamWriter) {
+	r.onIdle = append(r.onIdle, ws...)
+}
+
+// recv returns the next item; ok is false when the stream is closed and
+// drained or the run cancelled.
+func (r *streamReader) recv() (item, bool) {
+	if r.pos < len(r.cur) {
+		it := r.cur[r.pos]
+		r.pos++
+		return it, true
+	}
+	// Fast path: a frame is already waiting.
 	select {
-	case it, ok := <-in:
-		return it, ok
-	case <-env.ctx.Done():
+	case f, ok := <-r.ch:
+		return r.accept(f, ok)
+	default:
+	}
+	// The input is momentarily idle: flush owned writers so downstream
+	// never waits on our buffered output, then block.
+	for _, w := range r.onIdle {
+		if !w.flush() {
+			return item{}, false
+		}
+	}
+	select {
+	case f, ok := <-r.ch:
+		return r.accept(f, ok)
+	case <-r.env.ctx.Done():
 		return item{}, false
 	}
 }
 
-// drain consumes and discards the remainder of a stream so upstream senders
-// unblock after a node stops early.  It returns on cancellation: all senders
-// are themselves cancellation-aware, so nobody stays blocked.
-func drain(env *runEnv, in <-chan item) {
-	for {
-		select {
-		case _, ok := <-in:
-			if !ok {
-				return
-			}
-		case <-env.ctx.Done():
-			return
-		}
+func (r *streamReader) accept(f frame, ok bool) (item, bool) {
+	if !ok {
+		return item{}, false
 	}
+	if f.batch == nil {
+		return f.single, true
+	}
+	r.cur, r.pos = f.batch, 1
+	return f.batch[0], true
 }
 
-// drainTail detaches a background consumer for the remainder of in.  Every
-// node that stops consuming its input early — whether it merged its last
-// exit record (star), hit a cancelled send, or finished a dispatch loop —
-// uses this one helper so upstream senders can never stay blocked on a
-// stream nobody reads; drain itself returns on close or cancellation.
-func drainTail(env *runEnv, in <-chan item) {
-	go drain(env, in)
+// Discard detaches a background consumer for the remainder of the stream.
+// Every node that stops consuming its input early — whether it hit a
+// cancelled send or finished a dispatch loop — uses this one call so
+// upstream senders can never stay blocked on a stream nobody reads.  The
+// drainer returns on close or cancellation and counts the data records it
+// threw away under "stream.discarded".  Idempotent; the reader must not be
+// used after calling it.
+func (r *streamReader) Discard() {
+	if r.discarding.Swap(true) {
+		return
+	}
+	go func() {
+		var n int64
+		for r.pos < len(r.cur) {
+			if r.cur[r.pos].rec != nil {
+				n++
+			}
+			r.pos++
+		}
+		countFrame := func(f frame) {
+			if f.batch == nil {
+				if f.single.rec != nil {
+					n++
+				}
+				return
+			}
+			for _, it := range f.batch {
+				if it.rec != nil {
+					n++
+				}
+			}
+		}
+		defer func() {
+			if n > 0 {
+				r.env.stats.Add("stream.discarded", n)
+			}
+		}()
+		for {
+			// Prefer frames already delivered over the cancellation signal
+			// so the discard count is deterministic for everything that
+			// reached the stream before the early exit.
+			select {
+			case f, ok := <-r.ch:
+				if !ok {
+					return
+				}
+				countFrame(f)
+				continue
+			default:
+			}
+			select {
+			case f, ok := <-r.ch:
+				if !ok {
+					return
+				}
+				countFrame(f)
+			case <-r.env.ctx.Done():
+				return
+			}
+		}
+	}()
 }
 
 // ctxDone reports whether the run has been cancelled.

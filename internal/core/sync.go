@@ -44,19 +44,20 @@ func (n *syncNode) sig(*checker) (RecType, RecType) {
 	return in, RecType{merged}
 }
 
-func (n *syncNode) run(env *runEnv, in <-chan item, out chan<- item) {
-	defer close(out)
+func (n *syncNode) run(env *runEnv, in *streamReader, out *streamWriter) {
+	defer out.close()
+	in.autoFlush(out)
 	storage := make([]*Record, len(n.patterns))
 	fired := false
-	forward := func(it item) bool { return send(env, out, it) }
+	forward := func(it item) bool { return out.send(it) }
 	for {
-		it, ok := recv(env, in)
+		it, ok := in.recv()
 		if !ok {
 			break
 		}
 		if it.mk != nil || fired {
 			if !forward(it) {
-				drainTail(env, in)
+				in.Discard()
 				return
 			}
 			continue
@@ -73,7 +74,7 @@ func (n *syncNode) run(env *runEnv, in <-chan item, out chan<- item) {
 		}
 		if !stored {
 			if !forward(it) {
-				drainTail(env, in)
+				in.Discard()
 				return
 			}
 			continue
@@ -97,8 +98,8 @@ func (n *syncNode) run(env *runEnv, in <-chan item, out chan<- item) {
 		env.stats.Add("sync."+n.label+".fired", 1)
 		fired = true
 		storage = nil
-		if !sendRecord(env, out, merged) {
-			drainTail(env, in)
+		if !out.sendRecord(merged) {
+			in.Discard()
 			return
 		}
 	}

@@ -142,22 +142,25 @@ func (s *Service) handleRecords(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	codec := sess.Network().Codec()
-	accepted := 0
+	recs := make([]*snet.Record, 0, len(req.Records))
 	for _, wire := range req.Records {
 		rec, err := codec.Decode(wire)
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest,
-				map[string]any{"error": err.Error(), "accepted": accepted})
+				map[string]any{"error": err.Error(), "accepted": 0})
 			return
 		}
-		if err := sess.Send(r.Context(), rec); err != nil {
-			// report how many records entered the network so a retrying
-			// client knows where the batch stopped
-			writeJSON(w, errStatus(err),
-				map[string]any{"error": err.Error(), "accepted": accepted})
-			return
-		}
-		accepted++
+		recs = append(recs, rec)
+	}
+	// The whole request body enters the network as transport frames — one
+	// stream synchronization per StreamBatch records.
+	accepted, err := sess.SendBatch(r.Context(), recs)
+	if err != nil {
+		// report how many records entered the network so a retrying
+		// client knows where the batch stopped
+		writeJSON(w, errStatus(err),
+			map[string]any{"error": err.Error(), "accepted": accepted})
+		return
 	}
 	if req.Close {
 		sess.CloseInput()
@@ -293,14 +296,13 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	feedDone := make(chan feedResult, 1)
 	go func() {
-		for i, rec := range inputs {
-			if err := sess.Send(ctx, rec); err != nil {
-				feedDone <- feedResult{accepted: i, err: err}
-				return
-			}
+		accepted, err := sess.SendBatch(ctx, inputs)
+		if err != nil {
+			feedDone <- feedResult{accepted: accepted, err: err}
+			return
 		}
 		sess.CloseInput()
-		feedDone <- feedResult{accepted: len(inputs)}
+		feedDone <- feedResult{accepted: accepted}
 	}()
 	recs, done, err := sess.Drain(ctx, req.Max)
 	cancel() // unblock the feeder if the drain stopped at max or deadline

@@ -39,10 +39,18 @@ import (
 // flags: the bounded stream buffering and the data-parallel pool become
 // deployment configuration.
 type Options struct {
-	// BufferSize is the stream buffer capacity of every channel in the
-	// network instance (snet.WithBuffer).  Values < 0 select the runtime
-	// default (32); 0 is valid and selects fully synchronous streams.
+	// BufferSize is the stream buffer capacity, in frames, of every
+	// stream in the network instance (snet.WithBuffer).  Values < 0
+	// select the runtime default (32); 0 is valid and selects fully
+	// synchronous streams.
 	BufferSize int
+	// StreamBatch is the stream batch size B of every instance
+	// (snet.WithStreamBatch): how many records a hot stream coalesces
+	// into one channel synchronization.  0 keeps the runtime default;
+	// 1 forces unbatched per-record handoff.  Adaptive flushing keeps
+	// per-session latency flat at any B, so this is a pure throughput
+	// knob for record-dense workloads.
+	StreamBatch int
 	// MaxSessions caps the number of concurrently open sessions of this
 	// network; Open fails with ErrSessionLimit beyond it.  0 selects
 	// DefaultMaxSessions; negative means unlimited.
@@ -95,6 +103,9 @@ func (o Options) runOptions() []snet.Option {
 	var opts []snet.Option
 	if o.BufferSize >= 0 {
 		opts = append(opts, snet.WithBuffer(o.BufferSize))
+	}
+	if o.StreamBatch > 0 {
+		opts = append(opts, snet.WithStreamBatch(o.StreamBatch))
 	}
 	if o.BoxWorkers > 0 {
 		opts = append(opts, snet.WithBoxWorkers(o.BoxWorkers))

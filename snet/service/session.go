@@ -146,6 +146,24 @@ func (s *Session) Send(ctx context.Context, r *snet.Record) error {
 	return nil
 }
 
+// SendBatch streams a burst of records into the session's network instance
+// as transport frames — one stream synchronization per frame of the
+// network's StreamBatch size instead of one per record, the right call when
+// a client request carries a record array.  It returns how many records
+// were accepted; on ctx expiry or release that can be a prefix.
+func (s *Session) SendBatch(ctx context.Context, recs []*snet.Record) (int, error) {
+	s.enter()
+	defer s.exit()
+	accepted, err := s.handle.SendBatch(ctx, recs)
+	if accepted > 0 {
+		s.mu.Lock()
+		s.sent += int64(accepted)
+		s.mu.Unlock()
+		s.net.svcStat.Add("records.in", int64(accepted))
+	}
+	return accepted, err
+}
+
 // CloseInput signals end-of-input: once in-flight records drain, the
 // network instance winds down and Recv reports done.  Idempotent.
 func (s *Session) CloseInput() { s.handle.Close() }

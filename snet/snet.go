@@ -126,7 +126,15 @@ var (
 
 // Run options.
 var (
-	WithBuffer       = core.WithBuffer
+	WithBuffer = core.WithBuffer
+	// WithStreamBuffer sets the per-stream buffer capacity in frames
+	// (WithBuffer under its transport-layer name).
+	WithStreamBuffer = core.WithStreamBuffer
+	// WithStreamBatch sets the stream batch size B: how many records a hot
+	// stream coalesces into one channel synchronization.  Flushing is
+	// adaptive — markers, idle inputs and close always flush — so
+	// deterministic results and low-load latency are independent of B.
+	WithStreamBatch  = core.WithStreamBatch
 	WithTracer       = core.WithTracer
 	WithErrorHandler = core.WithErrorHandler
 	// WithBoxWorkers sets the per-box invocation concurrency width W for
