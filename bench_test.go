@@ -13,6 +13,7 @@ import (
 	"repro/sac"
 	saclang "repro/sac/lang"
 	"repro/snet"
+	"repro/snet/service"
 	"repro/sudoku"
 )
 
@@ -331,6 +332,55 @@ func BenchmarkE14Fig1Batch(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				solveNet(b, sudoku.Fig1Net(sudoku.NetConfig{Pool: pool1}), puzzle,
 					snet.WithStreamBatch(B))
+			}
+		})
+	}
+}
+
+// BenchmarkSessionChurn — the E15 lifecycle cost per session: open, one
+// record through a three-box pipeline, drain, release.  Isolated mode pays
+// a full network instantiation and teardown per iteration; shared mode pays
+// a map insert plus one replica unfold/reclaim on the warm engine.
+func BenchmarkSessionChurn(b *testing.B) {
+	builder := func(service.Options) (snet.Node, error) {
+		box := func(name string) snet.Node {
+			return snet.NewBox(name, snet.MustParseSignature("(<n>) -> (<n>)"),
+				func(args []any, out *snet.Emitter) error {
+					return out.Out(1, args[0].(int)+1)
+				})
+		}
+		return snet.Serial(box("c1"), box("c2"), box("c3")), nil
+	}
+	for _, mode := range []service.SessionMode{service.Isolated, service.Shared} {
+		b.Run(mode.String(), func(b *testing.B) {
+			svc := service.New()
+			svc.Register("pipe", "", service.Options{
+				BufferSize: 8, SessionMode: mode, MaxSessions: -1,
+			}, builder, nil)
+			defer svc.Shutdown()
+			ctx := context.Background()
+			if mode == service.Shared { // warm the engine outside the loop
+				warm, err := svc.Open("pipe")
+				if err != nil {
+					b.Fatal(err)
+				}
+				warm.Release()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sess, err := svc.Open("pipe")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sess.Send(ctx, snet.NewRecord().SetTag("n", i)); err != nil {
+					b.Fatal(err)
+				}
+				sess.CloseInput()
+				recs, done, err := sess.Drain(ctx, 0)
+				if err != nil || !done || len(recs) != 1 {
+					b.Fatalf("churn %d: %d records done=%v err=%v", i, len(recs), done, err)
+				}
+				sess.Release()
 			}
 		})
 	}

@@ -61,6 +61,8 @@ func main() {
 			tables = []*bench.Table{bench.E13DeepPipeline()}
 		case "E14":
 			tables = []*bench.Table{bench.E14Fig1Batch()}
+		case "E15":
+			tables = []*bench.Table{bench.E15SessionMux()}
 		default:
 			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (E7 is covered by unit tests)\n", *only)
 			os.Exit(2)

@@ -3,12 +3,15 @@ package bench
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/array"
 	"repro/internal/core"
 	"repro/internal/sched"
 	"repro/internal/sudoku"
+	"repro/snet"
+	"repro/snet/service"
 )
 
 // Reps is the measurement repetition count used by the experiment tables.
@@ -563,6 +566,124 @@ func E14Fig1Batch() *Table {
 	return t
 }
 
+// e15Sweep is the session-count axis of the session-mux experiment.
+var e15Sweep = []int{1, 64, 1024}
+
+// e15Builder returns the E15 workload network: a three-stage box pipeline
+// over <n> — cheap per record, so the measurement isolates the session
+// machinery (instantiation vs map insert; per-instance streams vs the
+// shared engine's mux) rather than box compute.
+func e15Builder(service.Options) (snet.Node, error) {
+	box := func(name string) core.Node {
+		return core.NewBox(name, core.MustParseSignature("(<n>) -> (<n>)"),
+			func(args []any, out *core.Emitter) error {
+				return out.Out(1, args[0].(int)+1)
+			})
+	}
+	return core.Serial(box("s1"), box("s2"), box("s3")), nil
+}
+
+// E15SessionMux measures the shared warm-engine session mode against the
+// classic instance-per-session mode: open latency for S sessions, then
+// aggregate throughput with all S sessions streaming concurrently, then
+// full churn (every session released, shared replicas reclaimed).
+func E15SessionMux() *Table {
+	t := &Table{
+		ID:    "E15",
+		Title: "Session multiplexing — isolated instances vs one warm engine (indexed replication)",
+		Claim: "indexed parallel replication with flow inheritance (A !! <tag>, §4) lets one warm instance serve all sessions — the deployed-runtime direction of the S-Net evaluations (arXiv:1305.7167, arXiv:1306.2743); session open becomes a map insert instead of a graph instantiation",
+		Header: []string{"mode", "S", "open total", "open/session", "records",
+			"stream+drain", "records/s", "open speedup vs isolated", "replicas after churn"},
+	}
+	const perSession = 20
+	for _, S := range e15Sweep {
+		var isoOpen time.Duration
+		for _, mode := range []service.SessionMode{service.Isolated, service.Shared} {
+			svc := service.New()
+			svc.Register("pipe", "", service.Options{
+				BufferSize: 8, SessionMode: mode, MaxSessions: -1,
+			}, e15Builder, nil)
+			if mode == service.Shared {
+				// Warm the engine: the one instantiation all opens amortize.
+				warm, err := svc.Open("pipe")
+				if err != nil {
+					panic(err)
+				}
+				warm.Release()
+			}
+			sessions := make([]*service.Session, S)
+			t0 := time.Now()
+			for i := range sessions {
+				s, err := svc.Open("pipe")
+				if err != nil {
+					panic(err)
+				}
+				sessions[i] = s
+			}
+			openTotal := time.Since(t0)
+
+			t1 := time.Now()
+			var wg sync.WaitGroup
+			errs := make(chan error, S)
+			for _, sess := range sessions {
+				wg.Add(1)
+				go func(sess *service.Session) {
+					defer wg.Done()
+					ctx := context.Background()
+					go func() {
+						for i := 0; i < perSession; i++ {
+							if sess.Send(ctx, core.NewRecord().SetTag("n", i)) != nil {
+								return
+							}
+						}
+						sess.CloseInput()
+					}()
+					recs, done, err := sess.Drain(ctx, 0)
+					if err != nil || !done || len(recs) != perSession {
+						errs <- fmt.Errorf("E15: %d records done=%v err=%v", len(recs), done, err)
+					}
+				}(sess)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				panic(err)
+			}
+			flow := time.Since(t1)
+			for _, sess := range sessions {
+				sess.Release()
+			}
+			replicas := int64(0)
+			if mode == service.Shared {
+				// The close protocol reclaims replicas asynchronously; wait
+				// for the gauge, then record it (must be 0).
+				deadline := time.Now().Add(10 * time.Second)
+				gauge := func() int64 {
+					return svc.Stats()["run.pipe.split.session_mux.replicas"]
+				}
+				for gauge() != 0 && time.Now().Before(deadline) {
+					time.Sleep(2 * time.Millisecond)
+				}
+				replicas = gauge()
+			}
+			total := S * perSession
+			speedup := "—"
+			if mode == service.Isolated {
+				isoOpen = openTotal
+			} else {
+				speedup = fmt.Sprintf("%.1fx", Speedup(isoOpen, openTotal))
+			}
+			t.AddRow(mode.String(), S, openTotal, openTotal/time.Duration(S),
+				total, flow, fmt.Sprintf("%.0f", float64(total)/flow.Seconds()),
+				speedup, replicas)
+			svc.Shutdown()
+		}
+	}
+	t.Notes = append(t.Notes,
+		"Shared mode wraps the network in SessionSplit(root, \"__snet_session\") once; Open allocates an id and two bounded queues, and the per-session replica unfolds on the first record. \"replicas after churn\" is the live split.session_mux.replicas gauge after all sessions released — 0 means every replica was reclaimed through the close protocol.")
+	return t
+}
+
 // All runs every experiment table (E7 is covered by unit tests — the §2
 // semantics examples — and therefore has no timing table).
 func All(maxWorkers int) []*Table {
@@ -570,6 +691,6 @@ func All(maxWorkers int) []*Table {
 		E1Fig1(), E2Fig2(), E3Fig3(), E4Sequential(),
 		E5WithLoop(maxWorkers), E6BigBoards(),
 		E8DetVsNondet(), E9RuntimeMicro(), E10Hybrid(),
-		E13DeepPipeline(), E14Fig1Batch(),
+		E13DeepPipeline(), E14Fig1Batch(), E15SessionMux(),
 	}
 }

@@ -191,6 +191,12 @@ func (p *parser) parseFilterOutput(pat Pattern) ([]FilterItem, error) {
 		return items, nil
 	}
 	for {
+		// Output items name labels the filter synthesizes; like parseLabel,
+		// refuse the runtime's reserved namespace.
+		if k := p.peek().kind; (k == tokIdent || k == tokTagName) && IsReservedLabel(p.peek().text) {
+			return nil, p.errf("label %q lies in the reserved %q namespace",
+				p.peek().text, ReservedTagPrefix)
+		}
 		switch p.peek().kind {
 		case tokIdent:
 			name := p.take().text

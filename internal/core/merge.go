@@ -37,6 +37,11 @@ const (
 	evClosed          // branch output closed
 	evMarker          // splitter announces a marker (identity + global number)
 	evDone            // splitter finished; no further branches or markers
+	evRetire          // splitter closed a branch's input (close protocol);
+	//                   it.rec, if non-nil, is the drain-acknowledgement
+	//                   sentinel to emit after the branch's last record
+	evEmit // splitter hands one record straight to the output (the
+	//        close protocol's acknowledgement when no replica exists)
 )
 
 type branchEvent struct {
@@ -147,6 +152,9 @@ func (f *fanout) broadcast(mk *marker) bool {
 		return false
 	}
 	for _, port := range f.branches {
+		if port == nil {
+			continue // retired by the close protocol
+		}
 		if !port.w.send(item{mk: mk}) {
 			return false
 		}
@@ -154,10 +162,30 @@ func (f *fanout) broadcast(mk *marker) bool {
 	return true
 }
 
+// retireBranch is the splitter half of the replica close protocol: the
+// branch's input stream is closed (the branch drains and its output merges
+// as usual, ending in the pump's evClosed) and, if sentinel is non-nil, the
+// merger emits sentinel strictly after the branch's last record.  The port
+// must not be routed to after retireBranch.
+func (f *fanout) retireBranch(port *branchPort, sentinel *Record) bool {
+	port.w.close()
+	f.branches[port.id] = nil
+	return f.sendEv(branchEvent{kind: evRetire, id: port.id, it: item{rec: sentinel}})
+}
+
+// emitDirect hands one record straight to the merged output — the close
+// protocol's acknowledgement path when no replica exists for the key.
+func (f *fanout) emitDirect(rec *Record) bool {
+	return f.sendEv(branchEvent{kind: evEmit, it: item{rec: rec}})
+}
+
 // finish closes all branch inputs and tells the merger no more branches or
 // markers will appear.
 func (f *fanout) finish() {
 	for _, port := range f.branches {
+		if port == nil {
+			continue // retired by the close protocol
+		}
 		port.w.close()
 	}
 	f.sendEv(branchEvent{kind: evDone})
@@ -169,6 +197,7 @@ type mergerBranch struct {
 	closed      bool
 	markersSeen int
 	regions     map[int][]*Record // det: buffered data per region
+	sentinel    *Record           // close protocol: emit after the last record
 }
 
 // lastGlobalMarker returns the global number of the latest marker this
@@ -229,6 +258,18 @@ func (f *fanout) mergeLoop(out *streamWriter, ownLevel int) {
 		}
 		return true
 	}
+	// emitSentinel delivers a retired branch's drain acknowledgement once
+	// the branch has closed and none of its data remains buffered — the
+	// "strictly after the branch's last record" guarantee of the close
+	// protocol.  False on cancellation.
+	emitSentinel := func(b *mergerBranch) bool {
+		if b == nil || b.sentinel == nil || !b.closed || len(b.regions) != 0 {
+			return true
+		}
+		rec := b.sentinel
+		b.sentinel = nil
+		return out.sendRecord(rec)
+	}
 	emitRegion := func(next int) bool {
 		for _, b := range branches {
 			if b == nil {
@@ -240,6 +281,9 @@ func (f *fanout) mergeLoop(out *streamWriter, ownLevel int) {
 				}
 			}
 			delete(b.regions, next)
+			if !emitSentinel(b) {
+				return false
+			}
 		}
 		mk := markerIDs[next]
 		delete(markerIDs, next)
@@ -268,7 +312,8 @@ func (f *fanout) mergeLoop(out *streamWriter, ownLevel int) {
 		return true
 	}
 	// flushTails emits data buffered after the last marker of each branch
-	// (or all data, in runs without any markers), in branch order.
+	// (or all data, in runs without any markers), in branch order, followed
+	// by any retired branch's drain acknowledgement.
 	flushTails := func() bool {
 		for _, b := range branches {
 			if b == nil {
@@ -286,7 +331,10 @@ func (f *fanout) mergeLoop(out *streamWriter, ownLevel int) {
 					}
 				}
 			}
-			b.regions = nil
+			b.regions = map[int][]*Record{}
+			if !emitSentinel(b) {
+				return false
+			}
 		}
 		return true
 	}
@@ -343,6 +391,26 @@ func (f *fanout) mergeLoop(out *streamWriter, ownLevel int) {
 			}
 			branches[e.id].closed = true
 			if !tryAdvance() {
+				return
+			}
+			if !emitSentinel(branches[e.id]) {
+				return
+			}
+		case evRetire:
+			// The splitter closed this branch's input.  Remember the drain
+			// acknowledgement (if requested); the branch's evClosed — or, in
+			// deterministic runs, the emission of its last buffered region —
+			// releases it.  evRetire and evClosed race through the mux from
+			// different goroutines, so check both orders.
+			if e.id >= len(branches) || branches[e.id] == nil {
+				break // see evItem: cancellation orphan
+			}
+			branches[e.id].sentinel = e.it.rec
+			if !emitSentinel(branches[e.id]) {
+				return
+			}
+		case evEmit:
+			if !out.send(e.it) {
 				return
 			}
 		case evDone:

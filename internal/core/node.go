@@ -79,3 +79,47 @@ func (n *identityNode) sig(*checker) (RecType, RecType) {
 	any := RecType{Variant{}}
 	return any, any
 }
+
+// hideNode strips a fixed set of tags from every record passing through —
+// the tag-hiding component used to keep routing/multiplexing tags (session
+// ids above all) out of sub-networks or egress streams.
+type hideNode struct {
+	label string
+	tags  []string
+}
+
+// HideTags returns a transparent node that deletes the given tags from every
+// record.  Compose it serially where a tag must not travel further — e.g.
+// after a session-multiplexing split, so downstream consumers never see the
+// reserved session tag.  Absent tags are ignored; markers pass through.
+func HideTags(tags ...string) Node {
+	return &hideNode{label: autoName("hide"), tags: tags}
+}
+
+func (n *hideNode) name() string   { return n.label }
+func (n *hideNode) String() string { return "hide(" + n.label + ")" }
+
+func (n *hideNode) run(env *runEnv, in *streamReader, out *streamWriter) {
+	defer out.close()
+	in.autoFlush(out)
+	for {
+		it, ok := in.recv()
+		if !ok {
+			return
+		}
+		if it.rec != nil {
+			for _, tag := range n.tags {
+				it.rec.DeleteTag(tag)
+			}
+		}
+		if !out.send(it) {
+			in.Discard()
+			return
+		}
+	}
+}
+
+func (n *hideNode) sig(*checker) (RecType, RecType) {
+	any := RecType{Variant{}}
+	return any, any
+}

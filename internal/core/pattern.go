@@ -99,11 +99,21 @@ func (p *parser) parseBracedVariant() (Variant, error) {
 }
 
 func (p *parser) parseLabel() (Label, error) {
+	var l Label
 	switch p.peek().kind {
 	case tokIdent:
-		return Field(p.take().text), nil
+		l = Field(p.take().text)
 	case tokTagName:
-		return Tag(p.take().text), nil
+		l = Tag(p.take().text)
+	default:
+		return Label{}, p.errf("expected field or tag label, found %v", p.peek().kind)
 	}
-	return Label{}, p.errf("expected field or tag label, found %v", p.peek().kind)
+	// Reserved-namespace enforcement: signatures, patterns and filters all
+	// parse labels through here, so no user network can consume, match or
+	// synthesize the runtime's control labels (session multiplexing and the
+	// replica close protocol depend on that).
+	if IsReservedLabel(l.Name) {
+		return Label{}, p.errf("label %s lies in the reserved %q namespace", l, ReservedTagPrefix)
+	}
+	return l, nil
 }

@@ -1,0 +1,95 @@
+package core
+
+import "strings"
+
+// This file defines the runtime's reserved label namespace and the in-band
+// control records of the parallel-replication close protocol.
+//
+// The service layer multiplexes many client sessions over one warm network
+// instance by wrapping the user's network in indexed parallel replication
+// over a session tag (the paper's A !! <tag>, §4) and letting flow
+// inheritance carry the tag through every box.  That only works if user
+// code cannot collide with — or spoof — the runtime's own labels, so every
+// label starting with ReservedTagPrefix belongs to the runtime:
+//
+//   - the textual parsers (signatures, patterns, filters) reject reserved
+//     labels, so no user network can consume or synthesize them;
+//   - programmatic construction is unrestricted (the runtime itself and the
+//     service layer build reserved-tag records), but service ingress rejects
+//     client records that carry them (Record.HasReservedLabel).
+
+// ReservedTagPrefix marks the label namespace owned by the runtime.  User
+// signatures, patterns and filters must not mention labels with this prefix.
+const ReservedTagPrefix = "__snet_"
+
+// replicaCloseTag marks a replica-close control record of the split close
+// protocol; replicaAckTag additionally requests the acknowledgement record.
+const (
+	replicaCloseTag = ReservedTagPrefix + "close"
+	replicaAckTag   = ReservedTagPrefix + "ack"
+)
+
+// IsReservedLabel reports whether a label name lies in the runtime's
+// reserved namespace.
+func IsReservedLabel(name string) bool {
+	return strings.HasPrefix(name, ReservedTagPrefix)
+}
+
+// HasReservedLabel reports whether the record carries any reserved label —
+// the ingress check of layers (such as the session service) that must keep
+// clients from spoofing runtime control records.
+func (r *Record) HasReservedLabel() bool {
+	for k := range r.tags {
+		if IsReservedLabel(k) {
+			return true
+		}
+	}
+	for k := range r.fields {
+		if IsReservedLabel(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// NewReplicaClose builds the in-band control record that retires one replica
+// of parallel replication: when a split node over <tag> receives it, the
+// replica serving the given tag value stops accepting input, drains, and is
+// reclaimed (goroutines unwound, the "split.<name>.replicas" gauge
+// decremented).  The record is consumed by the split; nothing is emitted.
+// If no replica exists for the value, the close is a no-op.
+//
+// Because the close record travels the ordinary record stream, it is
+// FIFO-ordered with the data: every record routed to the replica before the
+// close still reaches it, and its outputs still merge downstream.  A split
+// whose index tag the record does not carry forwards it downstream (so a
+// close can address an inner split through outer ones), though crossing an
+// intervening split trades FIFO order for merge order with records still
+// inside that split's replicas.
+func NewReplicaClose(tag string, value int) *Record {
+	return NewRecord().SetTag(replicaCloseTag, 1).SetTag(tag, value)
+}
+
+// NewReplicaCloseAck is NewReplicaClose with an acknowledgement: after the
+// replica's output has fully drained into the merged stream, the close
+// record itself is emitted downstream — strictly after the replica's last
+// record.  Consumers past the split (the session service's egress demux)
+// use it as the end-of-replica barrier.  With no replica for the value, the
+// acknowledgement is emitted immediately.
+func NewReplicaCloseAck(tag string, value int) *Record {
+	return NewReplicaClose(tag, value).SetTag(replicaAckTag, 1)
+}
+
+// IsReplicaClose reports whether r is a replica-close control record (with
+// or without acknowledgement).
+func IsReplicaClose(r *Record) bool {
+	_, ok := r.Tag(replicaCloseTag)
+	return ok
+}
+
+// wantsCloseAck reports whether a replica-close record requests the drain
+// acknowledgement.
+func wantsCloseAck(r *Record) bool {
+	_, ok := r.Tag(replicaAckTag)
+	return ok
+}

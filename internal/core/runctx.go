@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Stats collects named counters and high-water marks from a running network.
@@ -150,6 +151,9 @@ type runEnv struct {
 	maxDepth   int          // serial replication unfolding cap
 	maxWidth   int          // parallel replication width cap
 	boxWorkers int          // in-flight invocation cap per box node
+	// replicaIdle > 0 makes split nodes reap replicas that have received
+	// no record for that long (see WithReplicaIdleReap).
+	replicaIdle time.Duration
 }
 
 func (e *runEnv) newLevel() int { return int(e.levelSeq.Add(1)) }
@@ -259,6 +263,29 @@ func WithMaxSplitWidth(n int) Option {
 	return func(e *runEnv) {
 		if n > 0 {
 			e.maxWidth = n
+		}
+	}
+}
+
+// WithReplicaIdleReap makes every split node of the run reclaim replicas
+// that have received no record for at least d: the replica's input is
+// closed, it drains, its goroutines unwind, and the "split.<name>.replicas"
+// gauge is decremented ("split.<name>.reaped" counts the reclamations).  A
+// later record with the same tag value simply creates a fresh replica.
+//
+// Without reaping (the default, d = 0) a split's replica map only grows,
+// which under long-lived runs with a drifting key population — session
+// multiplexing above all — is a goroutine and memory leak.  Replicas can
+// also be retired individually, and deterministically, with the in-band
+// close protocol (NewReplicaClose / NewReplicaCloseAck); the reaper is the
+// belt-and-braces sweep for keys whose retirement no one announces.  Note
+// that per-key record order is not preserved across a reap boundary: a
+// record arriving while the reaped replica still drains starts a fresh
+// replica whose output merges concurrently.
+func WithReplicaIdleReap(d time.Duration) Option {
+	return func(e *runEnv) {
+		if d > 0 {
+			e.replicaIdle = d
 		}
 	}
 }

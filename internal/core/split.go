@@ -1,17 +1,28 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // splitNode is parallel replication A!!<tag>: an indexed family of replicas
 // of A connected in parallel.  Every incoming record must carry the index
 // tag; its value selects the replica, and any two records with the same tag
 // value are guaranteed to reach the same replica (§4).  Replicas are created
-// on demand.
+// on demand and reclaimed on demand: the in-band close protocol
+// (NewReplicaClose / NewReplicaCloseAck) retires one replica in FIFO
+// position with the data, and WithReplicaIdleReap sweeps replicas whose key
+// has gone quiet.  "split.<name>.replicas" is therefore a live gauge — it
+// counts replicas currently running, not replicas ever created.
 type splitNode struct {
 	label   string
 	det     bool
 	operand Node
 	tag     string
+	// uncapped exempts this split from the run's WithMaxSplitWidth modulo
+	// folding — the session-multiplexing configuration, where distinct tag
+	// values must never share a replica (SessionSplit).
+	uncapped bool
 }
 
 // Split builds the nondeterministic parallel replicator, the paper's
@@ -38,6 +49,20 @@ func NamedSplitDet(name string, operand Node, tag string) Node {
 	return &splitNode{label: name, det: true, operand: operand, tag: tag}
 }
 
+// SessionSplit is NamedSplit exempted from the run's WithMaxSplitWidth
+// modulo folding: distinct tag values always get distinct replicas.  It is
+// the session-multiplexing combinator of the service layer — one replica of
+// the wrapped network per live session — where folding two sessions onto
+// one replica would mix their state and break the per-replica close
+// protocol.  The replica count is bounded by the caller (the service's
+// session cap), not by the run option.  SessionSplit is also exempt from
+// WithReplicaIdleReap: session replicas hold live client state between
+// requests and are retired deterministically through the close protocol,
+// never by idle sweep.
+func SessionSplit(name string, operand Node, tag string) Node {
+	return &splitNode{label: name, operand: operand, tag: tag, uncapped: true}
+}
+
 func (n *splitNode) name() string { return n.label }
 
 func (n *splitNode) String() string {
@@ -60,17 +85,90 @@ func (n *splitNode) sig(c *checker) (RecType, RecType) {
 	return in, opOut
 }
 
+// foldKey maps a tag value onto the replica key: folded into the run's
+// width cap by modulo (records with equal tag values still share a
+// replica), or taken verbatim for session splits — sessions must never
+// share a replica.
+func foldKey(v int, uncapped bool, maxWidth int) int {
+	if uncapped {
+		return v
+	}
+	key := v % maxWidth
+	if key < 0 {
+		key += maxWidth
+	}
+	return key
+}
+
 func (n *splitNode) run(env *runEnv, in *streamReader, out *streamWriter) {
 	defer out.close()
 	f := newFanout(env, n.det, in)
 	ports := map[int]*branchPort{}
+	reap := env.replicaIdle
+	if n.uncapped {
+		reap = 0 // session replicas are closed by protocol, never swept
+	}
+	var lastSeen map[int]time.Time
+	var nextSweep time.Time
+	if reap > 0 {
+		lastSeen = map[int]time.Time{}
+		nextSweep = time.Now().Add(reap)
+	}
 	mergeDone := make(chan struct{})
 	go func() {
 		f.mergeLoop(out, f.level)
 		close(mergeDone)
 	}()
+
+	// retire runs the splitter half of the close protocol for one key:
+	// close the replica's input, drop it from the routing table, decrement
+	// the live-replica gauge.  sentinel (the acknowledgement record, if
+	// requested) is emitted by the merger after the replica's last record —
+	// or immediately when no replica exists.
+	retire := func(key int, sentinel *Record, reason string) bool {
+		port := ports[key]
+		if port == nil {
+			if sentinel != nil {
+				return f.emitDirect(sentinel)
+			}
+			return true
+		}
+		delete(ports, key)
+		if lastSeen != nil {
+			delete(lastSeen, key)
+		}
+		env.stats.Add("split."+n.label+".replicas", -1)
+		env.stats.Add("split."+n.label+"."+reason, 1)
+		return f.retireBranch(port, sentinel)
+	}
+	// sweep reaps every replica idle for at least reap.
+	sweep := func(now time.Time) bool {
+		for key, seen := range lastSeen {
+			if now.Sub(seen) >= reap {
+				if !retire(key, nil, "reaped") {
+					return false
+				}
+			}
+		}
+		nextSweep = now.Add(reap)
+		return true
+	}
+
 	for {
-		it, ok := in.recv()
+		var it item
+		var ok bool
+		if reap > 0 {
+			var timedOut bool
+			it, ok, timedOut = in.recvTimeout(reap)
+			if timedOut {
+				if !sweep(time.Now()) {
+					break
+				}
+				continue
+			}
+		} else {
+			it, ok = in.recv()
+		}
 		if !ok {
 			break
 		}
@@ -82,24 +180,47 @@ func (n *splitNode) run(env *runEnv, in *streamReader, out *streamWriter) {
 		}
 		rec := it.rec
 		v, ok := rec.Tag(n.tag)
+		if IsReplicaClose(rec) {
+			// A close record lacking this split's index tag is addressed
+			// to some other split: forward it downstream (merge order, not
+			// FIFO with records still inside this split's replicas).
+			if !ok {
+				if !f.emitDirect(rec) {
+					break
+				}
+				continue
+			}
+			var sentinel *Record
+			if wantsCloseAck(rec) {
+				sentinel = rec
+			}
+			if !retire(foldKey(v, n.uncapped, env.maxWidth), sentinel, "closed") {
+				break
+			}
+			continue
+		}
 		if !ok {
 			env.error(fmt.Errorf("core: split %s: record %s lacks index tag <%s>",
 				n.label, rec, n.tag))
 			env.stats.Add("split."+n.label+".untagged", 1)
 			continue
 		}
-		// Fold the tag value into the replica-width cap; records with
-		// equal tag values still share a replica.
-		key := v % env.maxWidth
-		if key < 0 {
-			key += env.maxWidth
-		}
+		key := foldKey(v, n.uncapped, env.maxWidth)
 		port := ports[key]
 		if port == nil {
 			env.stats.Add("split."+n.label+".replicas", 1)
 			env.stats.SetMax("split."+n.label+".width", int64(len(ports)+1))
 			port = f.addBranch(n.operand)
 			ports[key] = port
+		}
+		if reap > 0 {
+			now := time.Now()
+			lastSeen[key] = now
+			// A stream busy enough never to idle out still reaps: sweep
+			// opportunistically once per reap interval.
+			if now.After(nextSweep) && !sweep(now) {
+				break
+			}
 		}
 		if !f.route(port, rec) || !f.afterRoute() {
 			break

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// replicaGauge reads the live-replica gauge of a named split.
+func replicaGauge(stats *Stats, name string) int64 {
+	return stats.Counter("split." + name + ".replicas")
+}
+
+// waitCounter polls a stats counter until it reaches want or the deadline
+// passes (the close protocol settles asynchronously with the drain).
+func waitCounter(t *testing.T, get func() int64, want int64, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if get() == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("%s = %d, want %d", what, get(), want)
+}
+
+// TestSplitReplicaCloseProtocol: the in-band close record retires exactly
+// the addressed replica — the gauge decrements, records routed before the
+// close still reach the replica, and a later record with the same key gets
+// a fresh replica.
+func TestSplitReplicaCloseProtocol(t *testing.T) {
+	n := NamedSplit("cp", incBox("cpinc", 1), "k")
+	h := Start(context.Background(), n)
+	send := func(r *Record) {
+		t.Helper()
+		if err := h.Send(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []int
+	recv := func() *Record {
+		t.Helper()
+		select {
+		case r := <-h.Out():
+			return r
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out waiting for output")
+			return nil
+		}
+	}
+	for k := 0; k < 3; k++ {
+		send(NewRecord().SetTag("n", 10*k).SetTag("k", k))
+	}
+	for i := 0; i < 3; i++ {
+		v, _ := recv().Tag("n")
+		got = append(got, v)
+	}
+	if g := replicaGauge(h.Stats(), "cp"); g != 3 {
+		t.Fatalf("replicas after 3 keys: %d", g)
+	}
+	// Retire key 1; its replica drains and the gauge drops.
+	send(NewReplicaClose("k", 1))
+	waitCounter(t, func() int64 { return replicaGauge(h.Stats(), "cp") }, 2, "replicas after close")
+	waitCounter(t, func() int64 { return h.Stats().Counter("split.cp.closed") }, 1, "closed counter")
+	// Same key again: a fresh replica, fully functional.
+	send(NewRecord().SetTag("n", 100).SetTag("k", 1))
+	if v, _ := recv().Tag("n"); v != 101 {
+		t.Fatalf("post-close record lost: got %d", v)
+	}
+	waitCounter(t, func() int64 { return replicaGauge(h.Stats(), "cp") }, 3, "replicas after reopen")
+	// Closing a key with no replica is a no-op.
+	send(NewReplicaClose("k", 99))
+	h.Close()
+	for range h.Out() {
+	}
+	h.Wait()
+	if len(got) != 3 {
+		t.Fatalf("lost pre-close outputs: %v", got)
+	}
+}
+
+// TestSplitReplicaCloseAck: the acknowledgement variant re-emits the close
+// record downstream strictly after the replica's last output — and
+// immediately when no replica exists.
+func TestSplitReplicaCloseAck(t *testing.T) {
+	n := NamedSplit("ack", incBox("ackinc", 1), "k")
+	h := Start(context.Background(), n)
+	const burst = 5
+	for i := 0; i < burst; i++ {
+		if err := h.Send(NewRecord().SetTag("n", i).SetTag("k", 7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Send(NewReplicaCloseAck("k", 7)); err != nil {
+		t.Fatal(err)
+	}
+	// No replica for key 8: the ack comes back alone.
+	if err := h.Send(NewReplicaCloseAck("k", 8)); err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	var recs []*Record
+	for r := range h.Out() {
+		recs = append(recs, r)
+	}
+	h.Wait()
+	if len(recs) != burst+2 {
+		t.Fatalf("got %d records, want %d: %v", len(recs), burst+2, recs)
+	}
+	// The key-8 ack (no replica) may arrive at any position; the key-7 ack
+	// must come strictly after all of its replica's outputs.
+	acks, seen := 0, 0
+	for _, r := range recs {
+		if !IsReplicaClose(r) {
+			seen++
+			continue
+		}
+		acks++
+		if k, _ := r.Tag("k"); k == 7 && seen != burst {
+			t.Fatalf("key-7 ack arrived after only %d of %d data records: %v", seen, burst, recs)
+		}
+	}
+	if acks != 2 {
+		t.Fatalf("acks = %d, want 2 (%v)", acks, recs)
+	}
+	if g := replicaGauge(h.Stats(), "ack"); g != 0 {
+		t.Fatalf("replica gauge after close: %d", g)
+	}
+}
+
+// TestSplitDetCloseAck: the close protocol on the deterministic variant —
+// the ack still follows every buffered region of the retired replica.
+func TestSplitDetCloseAck(t *testing.T) {
+	n := NamedSplitDet("dack", incBox("dackinc", 1), "k")
+	inputsDone := make(chan struct{})
+	h := Start(context.Background(), n)
+	go func() {
+		defer close(inputsDone)
+		for i := 0; i < 6; i++ {
+			_ = h.Send(NewRecord().SetTag("n", i).SetTag("k", i%2))
+		}
+		_ = h.Send(NewReplicaCloseAck("k", 0))
+		_ = h.Send(NewRecord().SetTag("n", 50).SetTag("k", 1))
+		h.Close()
+	}()
+	var recs []*Record
+	for r := range h.Out() {
+		recs = append(recs, r)
+	}
+	h.Wait()
+	<-inputsDone
+	if len(recs) != 8 { // 7 data + 1 ack
+		t.Fatalf("got %d records: %v", len(recs), recs)
+	}
+	// Every key-0 data record precedes the ack.
+	ackAt := -1
+	lastK0 := -1
+	for i, r := range recs {
+		if IsReplicaClose(r) {
+			ackAt = i
+			continue
+		}
+		if k, _ := r.Tag("k"); k == 0 {
+			lastK0 = i
+		}
+	}
+	if ackAt < 0 || lastK0 > ackAt {
+		t.Fatalf("ack at %d, last key-0 record at %d: %v", ackAt, lastK0, recs)
+	}
+}
+
+// TestSplitCloseForwardsThroughOtherSplits: a close record addressed to an
+// inner split crosses an outer split (whose index tag it lacks) instead of
+// being dropped as untagged.
+func TestSplitCloseForwardsThroughOtherSplits(t *testing.T) {
+	n := Serial(
+		NamedSplit("outer", incBox("oi", 1), "a"),
+		NamedSplit("inner", incBox("ii", 1), "b"),
+	)
+	h := Start(context.Background(), n)
+	if err := h.Send(NewRecord().SetTag("n", 1).SetTag("a", 0).SetTag("b", 5)); err != nil {
+		t.Fatal(err)
+	}
+	if r := <-h.Out(); func() int { v, _ := r.Tag("n"); return v }() != 3 {
+		t.Fatalf("pipeline result: %v", r)
+	}
+	if err := h.Send(NewReplicaClose("b", 5)); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, func() int64 { return replicaGauge(h.Stats(), "inner") }, 0,
+		"inner replicas after forwarded close")
+	if u := h.Stats().Counter("split.outer.untagged"); u != 0 {
+		t.Fatalf("outer counted the close record as untagged (%d)", u)
+	}
+	if g := replicaGauge(h.Stats(), "outer"); g != 1 {
+		t.Fatalf("outer replicas: %d, want 1 (close must not touch it)", g)
+	}
+	if errs := h.Stats().Counter("runtime.errors"); errs != 0 {
+		t.Fatalf("forwarded close raised %d runtime errors", errs)
+	}
+	h.Close()
+	for range h.Out() {
+	}
+	h.Wait()
+}
+
+// TestSessionSplitExemptFromIdleReap: session replicas hold live client
+// state and are retired only by the close protocol — WithReplicaIdleReap
+// must not sweep them.
+func TestSessionSplitExemptFromIdleReap(t *testing.T) {
+	n := SessionSplit("mux", incBox("mi", 1), "sid")
+	h := Start(context.Background(), n, WithReplicaIdleReap(20*time.Millisecond))
+	if err := h.Send(NewRecord().SetTag("n", 1).SetTag("sid", 7)); err != nil {
+		t.Fatal(err)
+	}
+	<-h.Out()
+	time.Sleep(150 * time.Millisecond) // several reap intervals of silence
+	if g := replicaGauge(h.Stats(), "mux"); g != 1 {
+		t.Fatalf("idle session replica swept: gauge = %d", g)
+	}
+	// The close protocol still retires it.
+	if err := h.Send(NewReplicaClose("sid", 7)); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, func() int64 { return replicaGauge(h.Stats(), "mux") }, 0, "mux replicas after close")
+	h.Close()
+	for range h.Out() {
+	}
+	h.Wait()
+}
+
+// TestSplitReplicaIdleReap: replicas whose key goes quiet are reclaimed by
+// WithReplicaIdleReap — gauge back to 0 with the run still live — and a
+// returning key gets a fresh, working replica.
+func TestSplitReplicaIdleReap(t *testing.T) {
+	n := NamedSplit("reap", incBox("reapinc", 1), "k")
+	h := Start(context.Background(), n, WithReplicaIdleReap(30*time.Millisecond))
+	for k := 0; k < 4; k++ {
+		if err := h.Send(NewRecord().SetTag("n", k).SetTag("k", k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		<-h.Out()
+	}
+	waitCounter(t, func() int64 { return replicaGauge(h.Stats(), "reap") }, 0, "replicas after idle")
+	waitCounter(t, func() int64 { return h.Stats().Counter("split.reap.reaped") }, 4, "reaped counter")
+	// The run is still live: a returning key works.
+	if err := h.Send(NewRecord().SetTag("n", 41).SetTag("k", 2)); err != nil {
+		t.Fatal(err)
+	}
+	r := <-h.Out()
+	if v, _ := r.Tag("n"); v != 42 {
+		t.Fatalf("post-reap record: %v", r)
+	}
+	h.Close()
+	for range h.Out() {
+	}
+	h.Wait()
+}
+
+// TestReservedLabelsRejectedByParsers: signatures, patterns and filters must
+// refuse labels in the runtime's reserved namespace.
+func TestReservedLabelsRejectedByParsers(t *testing.T) {
+	if _, err := ParseSignature("(<__snet_session>) -> (<n>)"); err == nil {
+		t.Fatal("signature with reserved tag parsed")
+	}
+	if _, err := ParsePattern("{<__snet_close>}"); err == nil {
+		t.Fatal("pattern with reserved tag parsed")
+	}
+	if _, err := ParseFilter("{<n>} -> {<__snet_session>=1}"); err == nil {
+		t.Fatal("filter synthesizing reserved tag parsed")
+	}
+	if _, err := ParsePattern("{__snet_field}"); err == nil {
+		t.Fatal("pattern with reserved field parsed")
+	}
+	if !NewRecord().SetTag("__snet_session", 1).HasReservedLabel() {
+		t.Fatal("HasReservedLabel missed a reserved tag")
+	}
+	if NewRecord().SetTag("n", 1).SetField("s", "x").HasReservedLabel() {
+		t.Fatal("HasReservedLabel false positive")
+	}
+}
+
+// TestHideTags: the tag-hiding node strips exactly the named tags.
+func TestHideTags(t *testing.T) {
+	n := Serial(incBox("h", 1), HideTags("aux", "absent"))
+	out, _, err := RunAll(context.Background(),
+		n, []*Record{NewRecord().SetTag("n", 1).SetTag("aux", 9).SetTag("keep", 3)})
+	if err != nil || len(out) != 1 {
+		t.Fatalf("out=%d err=%v", len(out), err)
+	}
+	if _, ok := out[0].Tag("aux"); ok {
+		t.Fatalf("aux survived: %v", out[0])
+	}
+	if v, _ := out[0].Tag("keep"); v != 3 {
+		t.Fatalf("keep lost: %v", out[0])
+	}
+	if v, _ := out[0].Tag("n"); v != 2 {
+		t.Fatalf("n: %v", out[0])
+	}
+}

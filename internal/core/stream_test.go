@@ -92,7 +92,7 @@ func TestStreamMarkerFlushesBarrier(t *testing.T) {
 func TestStreamIdleFlushKeepsLatencyFlat(t *testing.T) {
 	env, cancel := newTestEnv(32, 64)
 	defer cancel()
-	upR, upW := newStream(env)   // the node's input
+	upR, upW := newStream(env)     // the node's input
 	downR, downW := newStream(env) // the node's output
 	go func() {
 		upR.autoFlush(downW)

@@ -51,7 +51,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // errStatus maps service errors onto HTTP statuses: the session cap is
-// 429 (back off and retry), unknown names are 404, everything else 400.
+// 429 (back off and retry), unknown names are 404, sending after close is a
+// 409 conflict with the session's own state, everything else 400.
 func errStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrSessionLimit):
@@ -62,6 +63,8 @@ func errStatus(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrBuild):
 		return http.StatusInternalServerError // server-side configuration fault
+	case errors.Is(err, snet.ErrClosed):
+		return http.StatusConflict // send after close-of-input
 	case errors.Is(err, snet.ErrCancelled):
 		return http.StatusGone // session released / run cancelled
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -79,9 +82,11 @@ func (s *Service) handleNetworks(w http.ResponseWriter, r *http.Request) {
 	type netInfo struct {
 		Name        string `json:"name"`
 		Description string `json:"description"`
+		SessionMode string `json:"sessionMode"`
 		BufferSize  int    `json:"bufferSize"`
 		MaxSessions int    `json:"maxSessions"`
 		Active      int    `json:"activeSessions"`
+		EngineWarm  bool   `json:"engineWarm,omitempty"`
 	}
 	var out []netInfo
 	for _, n := range s.Networks() {
@@ -91,9 +96,11 @@ func (s *Service) handleNetworks(w http.ResponseWriter, r *http.Request) {
 		out = append(out, netInfo{
 			Name:        n.name,
 			Description: n.descr,
+			SessionMode: n.opts.SessionMode.String(),
 			BufferSize:  n.opts.BufferSize,
 			MaxSessions: n.opts.maxSessions(),
 			Active:      active,
+			EngineWarm:  n.liveEngine() != nil,
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"networks": out})

@@ -161,6 +161,153 @@ func TestHTTPSessionLimit(t *testing.T) {
 	}
 }
 
+// TestHTTPErrorPaths covers the client-fault surface of the wire protocol:
+// unknown names, malformed bodies, malformed records, sends after
+// close-of-input (409 conflict), spoofed reserved labels, and bad query
+// parameters.
+func TestHTTPErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// Unknown network on the one-shot endpoint too.
+	if code := call(t, "POST", ts.URL+"/api/run", map[string]any{"net": "nope"}, nil); code != http.StatusNotFound {
+		t.Fatalf("run unknown net: status %d", code)
+	}
+	// Malformed request body (not JSON).
+	req, _ := http.NewRequest("POST", ts.URL+"/api/sessions", bytes.NewBufferString("{not json"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d", resp.StatusCode)
+	}
+
+	var opened struct {
+		Session string `json:"session"`
+	}
+	if code := call(t, "POST", ts.URL+"/api/sessions", map[string]string{"net": "inc"}, &opened); code != http.StatusCreated {
+		t.Fatalf("open: status %d", code)
+	}
+	url := ts.URL + "/api/sessions/" + opened.Session
+
+	// Malformed record JSON: a tag value that is not an int.
+	req, _ = http.NewRequest("POST", url+"/records",
+		bytes.NewBufferString(`{"records":[{"tags":{"n":"not-an-int"}}]}`))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed record: status %d", resp.StatusCode)
+	}
+	// A record spoofing the reserved namespace is rejected, not fed.
+	spoof := map[string]any{"records": []RecordJSON{{Tags: map[string]int{"n": 1, "__snet_session": 9}}}}
+	if code := call(t, "POST", url+"/records", spoof, nil); code != http.StatusBadRequest {
+		t.Fatalf("reserved label: status %d", code)
+	}
+	// Bad ?wait and ?max on the results endpoint.
+	if code := call(t, "GET", url+"/results?wait=banana", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad wait: status %d", code)
+	}
+	if code := call(t, "GET", url+"/results?max=banana", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad max: status %d", code)
+	}
+
+	// Send after close-of-input: 409 conflict.
+	feed := map[string]any{"records": []RecordJSON{{Tags: map[string]int{"n": 1}}}, "close": true}
+	if code := call(t, "POST", url+"/records", feed, nil); code != http.StatusOK {
+		t.Fatalf("feed: status %d", code)
+	}
+	var late struct {
+		Error    string `json:"error"`
+		Accepted int    `json:"accepted"`
+	}
+	if code := call(t, "POST", url+"/records", feed, &late); code != http.StatusConflict {
+		t.Fatalf("send after close: status %d (%+v)", code, late)
+	}
+	if late.Accepted != 0 {
+		t.Fatalf("send after close accepted %d records", late.Accepted)
+	}
+
+	// The session is still drainable after the failed sends.
+	var res struct {
+		Records []RecordJSON `json:"records"`
+		Done    bool         `json:"done"`
+	}
+	if code := call(t, "GET", url+"/results?wait=5s", nil, &res); code != http.StatusOK {
+		t.Fatalf("results: status %d", code)
+	}
+	if !res.Done || len(res.Records) != 1 {
+		t.Fatalf("results after conflict: %+v", res)
+	}
+}
+
+// TestHTTPSharedMode drives the full wire protocol against a Shared-mode
+// network: session lifecycle, one-shot runs, and the engine surfacing in
+// /api/networks and /api/stats.
+func TestHTTPSharedMode(t *testing.T) {
+	svc := New()
+	svc.Register("inc", "warm increment", Options{BufferSize: 4, SessionMode: Shared}, incNet, nil)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer svc.Shutdown()
+
+	const clients = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var res struct {
+				Records []RecordJSON `json:"records"`
+				Done    bool         `json:"done"`
+			}
+			body := map[string]any{
+				"net":     "inc",
+				"records": []RecordJSON{{Tags: map[string]int{"n": c}}},
+				"wait":    "10s",
+			}
+			if code := call(t, "POST", ts.URL+"/api/run", body, &res); code != http.StatusOK {
+				errs <- fmt.Errorf("client %d: status %d", c, code)
+				return
+			}
+			if !res.Done || len(res.Records) != 1 || res.Records[0].Tags["n"] != c+1 {
+				errs <- fmt.Errorf("client %d: %+v", c, res)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	var nets struct {
+		Networks []struct {
+			Name        string `json:"name"`
+			SessionMode string `json:"sessionMode"`
+			EngineWarm  bool   `json:"engineWarm"`
+		} `json:"networks"`
+	}
+	if code := call(t, "GET", ts.URL+"/api/networks", nil, &nets); code != http.StatusOK {
+		t.Fatalf("networks: status %d", code)
+	}
+	if len(nets.Networks) != 1 || nets.Networks[0].SessionMode != "shared" || !nets.Networks[0].EngineWarm {
+		t.Fatalf("networks: %+v", nets.Networks)
+	}
+	var stats map[string]int64
+	if code := call(t, "GET", ts.URL+"/api/stats", nil, &stats); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if stats["net.inc.engine.warm"] != 1 || stats["run.inc.box.inc.calls"] != clients {
+		t.Fatalf("shared-engine stats missing: warm=%d calls=%d",
+			stats["net.inc.engine.warm"], stats["run.inc.box.inc.calls"])
+	}
+}
+
 // TestHTTPConcurrentClients exercises the wire protocol from many clients
 // at once against one shared network definition.
 func TestHTTPConcurrentClients(t *testing.T) {

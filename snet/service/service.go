@@ -24,6 +24,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -34,11 +35,51 @@ import (
 	"repro/snet"
 )
 
+// SessionMode selects how a network's sessions map onto runtime instances.
+type SessionMode int
+
+const (
+	// Isolated starts one private network instance per session (snet.Start
+	// on Open, cancel on Release) — full fault and performance isolation,
+	// at the price of instantiating the whole combinator graph per client.
+	// It is the default and the backward-compatible behaviour.
+	Isolated SessionMode = iota
+	// Shared multiplexes every session of the network over one long-lived
+	// warm instance: the user's root is wrapped in indexed parallel
+	// replication over a reserved session tag (SessionSplit), so Open is a
+	// map insert, each session still gets a private lazily-unfolded
+	// replica of the network, and Release reclaims the replica through the
+	// split close protocol.  See engine.go.
+	Shared
+)
+
+func (m SessionMode) String() string {
+	if m == Shared {
+		return "shared"
+	}
+	return "isolated"
+}
+
+// ParseSessionMode reads "isolated" or "shared" (deployment flags).
+func ParseSessionMode(s string) (SessionMode, error) {
+	switch s {
+	case "", "isolated":
+		return Isolated, nil
+	case "shared":
+		return Shared, nil
+	}
+	return Isolated, fmt.Errorf("service: unknown session mode %q (want isolated or shared)", s)
+}
+
 // Options configures every run (session) of one registered network.
 // It is the per-network counterpart of the paper's per-experiment harness
 // flags: the bounded stream buffering and the data-parallel pool become
 // deployment configuration.
 type Options struct {
+	// SessionMode selects Isolated (default: one network instance per
+	// session) or Shared (one warm instance multiplexing all sessions via
+	// indexed replication).
+	SessionMode SessionMode
 	// BufferSize is the stream buffer capacity, in frames, of every
 	// stream in the network instance (snet.WithBuffer).  Values < 0
 	// select the runtime default (32); 0 is valid and selects fully
@@ -75,6 +116,13 @@ type Options struct {
 	// running network instance and a MaxSessions slot forever.  0 selects
 	// DefaultIdleTimeout; negative disables reaping.
 	IdleTimeout time.Duration
+	// ReplicaIdleReap > 0 enables the runtime's split replica idle reaper
+	// (snet.WithReplicaIdleReap) in every instance: split replicas whose
+	// key has gone quiet for this long are reclaimed.  The shared engine
+	// retires session replicas deterministically through the close
+	// protocol regardless; this knob additionally covers splits inside the
+	// user's network.
+	ReplicaIdleReap time.Duration
 }
 
 // DefaultMaxSessions is the session cap applied when Options.MaxSessions is
@@ -116,7 +164,19 @@ func (o Options) runOptions() []snet.Option {
 	if o.MaxSplitWidth > 0 {
 		opts = append(opts, snet.WithMaxSplitWidth(o.MaxSplitWidth))
 	}
+	if o.ReplicaIdleReap > 0 {
+		opts = append(opts, snet.WithReplicaIdleReap(o.ReplicaIdleReap))
+	}
 	return opts
+}
+
+// queueCap is the per-session ingress/egress queue capacity of the shared
+// engine, matching the instance's stream buffering.
+func (o Options) queueCap() int {
+	if o.BufferSize >= 0 {
+		return o.BufferSize
+	}
+	return 32
 }
 
 func (o Options) maxSessions() int {
@@ -149,6 +209,32 @@ type Network struct {
 
 	mu     sync.Mutex
 	active int
+
+	engMu sync.Mutex
+	eng   *engine // Shared mode: the warm instance, created on first Open
+}
+
+// sharedEngine returns the network's warm engine, starting it on first use
+// — the one instantiation every Shared-mode session amortizes.
+func (n *Network) sharedEngine() (*engine, error) {
+	n.engMu.Lock()
+	defer n.engMu.Unlock()
+	if n.eng != nil {
+		return n.eng, nil
+	}
+	e, err := newEngine(n)
+	if err != nil {
+		return nil, err
+	}
+	n.eng = e
+	return e, nil
+}
+
+// liveEngine returns the warm engine if one has been started.
+func (n *Network) liveEngine() *engine {
+	n.engMu.Lock()
+	defer n.engMu.Unlock()
+	return n.eng
 }
 
 // Name returns the network's registered name.
@@ -186,13 +272,17 @@ func (n *Network) releaseSlot() {
 	n.svcStat.Add("sessions.closed", 1)
 }
 
-// release returns a session slot and folds the run's statistics in.
+// release returns a session slot and folds the run's statistics in (shared
+// sessions have no per-run collector — the engine's live stats are
+// aggregated by Service.Stats instead).
 func (n *Network) release(s *Session) {
 	n.releaseSlot()
 	lifetime := time.Since(s.opened)
 	n.svcStat.Add("latency.session_ns", lifetime.Nanoseconds())
 	n.svcStat.SetMax("latency.session_ns", lifetime.Nanoseconds())
-	n.runStat.Merge(s.handle.Stats())
+	if rs := s.back.runStats(); rs != nil {
+		n.runStat.Merge(rs)
+	}
 }
 
 // Errors reported by the service layer.
@@ -204,6 +294,10 @@ var (
 	// ErrBuild marks a network builder failure — a server-side
 	// configuration fault, not a client error.
 	ErrBuild = errors.New("service: network build failed")
+	// ErrReservedLabel rejects client records carrying labels in the
+	// runtime's reserved namespace (session and replica control records
+	// must not be spoofable from outside).
+	ErrReservedLabel = errors.New("service: reserved label")
 )
 
 // Service is a registry of named networks and the live sessions running
@@ -352,8 +446,10 @@ func (s *Service) SessionCount() int {
 func (s *Service) Uptime() time.Duration { return time.Since(s.started) }
 
 // Stats returns a nested snapshot of every network's service counters
-// ("net.<name>.<metric>"), aggregated core runtime counters of finished
-// runs ("run.<name>.<metric>"), and service-wide gauges.
+// ("net.<name>.<metric>"), aggregated core runtime counters
+// ("run.<name>.<metric>": finished isolated runs, plus the live warm engine
+// of Shared-mode networks — its "split.session_mux.replicas" gauge is the
+// live session-replica count), and service-wide gauges.
 func (s *Service) Stats() map[string]int64 {
 	out := map[string]int64{
 		"service.uptime_ns":       s.Uptime().Nanoseconds(),
@@ -366,12 +462,47 @@ func (s *Service) Stats() map[string]int64 {
 		for k, v := range n.runStat.Snapshot() {
 			out["run."+n.name+"."+k] = v
 		}
+		if e := n.liveEngine(); e != nil {
+			for k, v := range e.handle.Stats().Snapshot() {
+				out["run."+n.name+"."+k] += v
+			}
+			out["net."+n.name+".engine.warm"] = 1
+			out["net."+n.name+".engine.live"] = int64(e.sessionCount())
+		}
 	}
 	return out
 }
 
-// Shutdown cancels every live session and waits for their networks to wind
-// down, then refuses further Opens.  It is idempotent.
+// Quiesce refuses further Opens while leaving live sessions running — the
+// first phase of graceful shutdown (drain, then Shutdown).
+func (s *Service) Quiesce() {
+	s.mu.Lock()
+	s.down = true
+	s.mu.Unlock()
+}
+
+// DrainSessions blocks until every live session has been released (clients
+// finishing naturally, or the idle reaper collecting them) or ctx expires;
+// it reports whether the service drained fully.  Call Quiesce first so no
+// new sessions arrive behind the drain.
+func (s *Service) DrainSessions(ctx context.Context) bool {
+	t := time.NewTicker(10 * time.Millisecond)
+	defer t.Stop()
+	for {
+		if s.SessionCount() == 0 {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return s.SessionCount() == 0
+		case <-t.C:
+		}
+	}
+}
+
+// Shutdown cancels every live session, waits for their networks to wind
+// down, shuts down every warm shared engine, and refuses further Opens.
+// It is idempotent.
 func (s *Service) Shutdown() {
 	s.mu.Lock()
 	s.down = true
@@ -391,4 +522,9 @@ func (s *Service) Shutdown() {
 	// snapshotted: it self-releases on its second down-check, and we wait
 	// for it here so the wind-down guarantee covers stragglers too.
 	s.opening.Wait()
+	for _, n := range s.Networks() {
+		if e := n.liveEngine(); e != nil {
+			e.shutdown()
+		}
+	}
 }

@@ -10,38 +10,101 @@ import (
 	"repro/snet"
 )
 
-// Session is one client's run of a registered network: a started network
-// instance plus lifecycle state.  The lifecycle is
+// Session is one client's use of a registered network: lifecycle state plus
+// a mode-specific backend.  The lifecycle is
 //
 //	Open → Send* → CloseInput → Recv* (until done) → Release
 //
-// Release is mandatory and idempotent; it cancels the run context, which
-// unwinds every node goroutine of the instance (the runtime's
-// cancellation-aware send/recv/drain discipline makes this leak-free even
-// mid-stream).  Send and Recv additionally honour the caller's context, so
-// a slow network exerts backpressure on the client without wedging it.
+// In Isolated mode the backend is a private network instance (snet.Start
+// per session); in Shared mode it is one replica slot of the network's warm
+// engine (see engine.go) and Open never instantiates a graph.
+//
+// Release is mandatory and idempotent.  Isolated: it cancels the run
+// context, which unwinds every node goroutine of the instance.  Shared: it
+// retires the session's replica through the split close protocol — the
+// engine keeps running.  Send and Recv additionally honour the caller's
+// context, so a slow network exerts backpressure on the client without
+// wedging it.
 //
 // A Session is safe for concurrent use, including racing Send/CloseInput/
-// Release from independent HTTP requests: cancellation unblocks in-flight
-// sends, and every Release call returns only after the instance has wound
-// down.
+// Release from independent HTTP requests.
 type Session struct {
 	id     string
 	net    *Network
 	svc    *Service
-	handle *snet.Handle
-	cancel context.CancelFunc
+	back   backend
 	opened time.Time
 
 	mu       sync.Mutex
 	released bool
-	done     chan struct{} // closed once Release has fully wound down
+	done     chan struct{} // closed once Release has completed
 	sent     int64
 	received int64
 
 	lastActive atomic.Int64 // unix nanos of the last Send/Recv (or Open)
 	inflight   atomic.Int64 // Send/Recv calls currently blocked in this session
 }
+
+// backend is the mode-specific half of a session: how records enter and
+// leave the network, and how the session's compute is torn down.
+type backend interface {
+	send(ctx context.Context, r *snet.Record) error
+	sendBatch(ctx context.Context, recs []*snet.Record) (int, error)
+	closeInput()
+	// recv delivers the next output record; done reports that the
+	// session's output has drained (after closeInput) or the session is
+	// gone.
+	recv(ctx context.Context) (rec *snet.Record, done bool, err error)
+	// release tears the session's compute down.  Isolated backends block
+	// until the instance has wound down; shared backends retire the
+	// session's replica asynchronously (the engine reclaims it in FIFO
+	// position behind the session's in-flight work).
+	release()
+	// handle exposes the underlying run — the session's own instance, or
+	// the network's shared engine.
+	handle() *snet.Handle
+	// runStats returns per-run statistics to fold into the network on
+	// release, or nil when the backend's run outlives the session (shared
+	// mode aggregates live engine stats in Service.Stats instead).
+	runStats() *snet.Stats
+}
+
+// isolatedBackend is the classic one-instance-per-session mode: the session
+// owns a full network run.
+type isolatedBackend struct {
+	h      *snet.Handle
+	cancel context.CancelFunc
+}
+
+func (b *isolatedBackend) send(ctx context.Context, r *snet.Record) error {
+	return b.h.SendCtx(ctx, r)
+}
+
+func (b *isolatedBackend) sendBatch(ctx context.Context, recs []*snet.Record) (int, error) {
+	return b.h.SendBatch(ctx, recs)
+}
+
+func (b *isolatedBackend) closeInput() { b.h.Close() }
+
+func (b *isolatedBackend) recv(ctx context.Context) (*snet.Record, bool, error) {
+	select {
+	case r, ok := <-b.h.Out():
+		if !ok {
+			return nil, true, nil
+		}
+		return r, false, nil
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}
+
+func (b *isolatedBackend) release() {
+	b.cancel()
+	b.h.Wait()
+}
+
+func (b *isolatedBackend) handle() *snet.Handle  { return b.h }
+func (b *isolatedBackend) runStats() *snet.Stats { return b.h.Stats() }
 
 // touch records client activity for the idle reaper.
 func (s *Session) touch() { s.lastActive.Store(time.Now().UnixNano()) }
@@ -62,9 +125,11 @@ func (s *Session) reapable(limit time.Duration) bool {
 	return time.Duration(time.Now().UnixNano()-s.lastActive.Load()) > limit
 }
 
-// Open instantiates the named network and registers a new session for it.
-// The session slot is claimed against the network's MaxSessions cap before
-// the instance is started.
+// Open starts a new session of the named network.  The session slot is
+// claimed against the network's MaxSessions cap first; then, depending on
+// the network's SessionMode, either a fresh instance is started (Isolated)
+// or a replica slot of the warm shared engine is allocated (Shared — a map
+// insert, no graph instantiation).
 func (s *Service) Open(netName string) (*Session, error) {
 	n, err := s.Network(netName)
 	if err != nil {
@@ -84,19 +149,35 @@ func (s *Service) Open(netName string) (*Session, error) {
 	if err := n.acquire(); err != nil {
 		return nil, err
 	}
-	root, err := n.build(n.opts)
-	if err != nil {
-		n.releaseSlot()
-		n.svcStat.Add("sessions.build_errors", 1)
-		return nil, fmt.Errorf("%w: network %q: %v", ErrBuild, netName, err)
+	var back backend
+	if n.opts.SessionMode == Shared {
+		eng, err := n.sharedEngine()
+		if err != nil {
+			n.releaseSlot()
+			n.svcStat.Add("sessions.build_errors", 1)
+			return nil, fmt.Errorf("%w: network %q: %v", ErrBuild, netName, err)
+		}
+		sb, err := eng.open()
+		if err != nil {
+			n.releaseSlot()
+			return nil, err
+		}
+		back = sb
+	} else {
+		root, err := n.build(n.opts)
+		if err != nil {
+			n.releaseSlot()
+			n.svcStat.Add("sessions.build_errors", 1)
+			return nil, fmt.Errorf("%w: network %q: %v", ErrBuild, netName, err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		back = &isolatedBackend{h: snet.Start(ctx, root, n.opts.runOptions()...), cancel: cancel}
 	}
-	ctx, cancel := context.WithCancel(context.Background())
 	sess := &Session{
 		id:     id,
 		net:    n,
 		svc:    s,
-		handle: snet.Start(ctx, root, n.opts.runOptions()...),
-		cancel: cancel,
+		back:   back,
 		opened: time.Now(),
 		done:   make(chan struct{}),
 	}
@@ -119,8 +200,10 @@ func (s *Session) ID() string { return s.id }
 // Network returns the network definition this session runs.
 func (s *Session) Network() *Network { return s.net }
 
-// Handle exposes the underlying running network (for its Stats).
-func (s *Session) Handle() *snet.Handle { return s.handle }
+// Handle exposes the underlying running network (for its Stats).  In Shared
+// mode this is the network's engine — shared by every session of the
+// network — so treat it as read-only.
+func (s *Session) Handle() *snet.Handle { return s.back.handle() }
 
 // Counts reports how many records have been accepted and delivered.
 func (s *Session) Counts() (sent, received int64) {
@@ -129,14 +212,20 @@ func (s *Session) Counts() (sent, received int64) {
 	return s.sent, s.received
 }
 
-// Send streams one record into the session's network instance.  It blocks
-// on backpressure — the instance's stream buffers are bounded — until the
+// Send streams one record into the session's network.  It blocks on
+// backpressure — stream buffers are bounded in both modes — until the
 // record is accepted, the caller's ctx is cancelled, or the session is
-// released.
+// released.  Records carrying labels in the runtime's reserved namespace
+// are rejected (clients must not spoof session or replica control records).
 func (s *Session) Send(ctx context.Context, r *snet.Record) error {
 	s.enter()
 	defer s.exit()
-	if err := s.handle.SendCtx(ctx, r); err != nil {
+	if r.HasReservedLabel() {
+		s.net.svcStat.Add("records.reserved_rejected", 1)
+		return fmt.Errorf("%w: record carries a reserved %q label",
+			ErrReservedLabel, snet.ReservedTagPrefix)
+	}
+	if err := s.back.send(ctx, r); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -146,15 +235,23 @@ func (s *Session) Send(ctx context.Context, r *snet.Record) error {
 	return nil
 }
 
-// SendBatch streams a burst of records into the session's network instance
-// as transport frames — one stream synchronization per frame of the
-// network's StreamBatch size instead of one per record, the right call when
-// a client request carries a record array.  It returns how many records
-// were accepted; on ctx expiry or release that can be a prefix.
+// SendBatch streams a burst of records into the session's network.  In
+// Isolated mode the burst enters as transport frames (one stream
+// synchronization per StreamBatch records); in Shared mode records are
+// interleaved with other sessions by the engine's round-robin feeder.  It
+// returns how many records were accepted; on ctx expiry or release that can
+// be a prefix.
 func (s *Session) SendBatch(ctx context.Context, recs []*snet.Record) (int, error) {
 	s.enter()
 	defer s.exit()
-	accepted, err := s.handle.SendBatch(ctx, recs)
+	for _, r := range recs {
+		if r.HasReservedLabel() {
+			s.net.svcStat.Add("records.reserved_rejected", 1)
+			return 0, fmt.Errorf("%w: record carries a reserved %q label",
+				ErrReservedLabel, snet.ReservedTagPrefix)
+		}
+	}
+	accepted, err := s.back.sendBatch(ctx, recs)
 	if accepted > 0 {
 		s.mu.Lock()
 		s.sent += int64(accepted)
@@ -165,32 +262,27 @@ func (s *Session) SendBatch(ctx context.Context, recs []*snet.Record) (int, erro
 }
 
 // CloseInput signals end-of-input: once in-flight records drain, the
-// network instance winds down and Recv reports done.  Idempotent.
-func (s *Session) CloseInput() { s.handle.Close() }
+// session's output winds down and Recv reports done.  Idempotent.
+func (s *Session) CloseInput() { s.back.closeInput() }
 
-// Recv delivers the next output record.  done reports that the instance
-// has drained (after CloseInput) or was released; err is the caller's
-// context error on timeout/cancellation.
+// Recv delivers the next output record.  done reports that the session has
+// drained (after CloseInput) or was released; err is the caller's context
+// error on timeout/cancellation.
 func (s *Session) Recv(ctx context.Context) (rec *snet.Record, done bool, err error) {
 	s.enter()
 	defer s.exit()
-	select {
-	case r, ok := <-s.handle.Out():
-		if !ok {
-			return nil, true, nil
-		}
+	rec, done, err = s.back.recv(ctx)
+	if rec != nil {
 		s.mu.Lock()
 		s.received++
 		s.mu.Unlock()
 		s.net.svcStat.Add("records.out", 1)
-		return r, false, nil
-	case <-ctx.Done():
-		return nil, false, ctx.Err()
 	}
+	return rec, done, err
 }
 
 // Drain collects up to max output records (max <= 0: unlimited), returning
-// early when the instance winds down or ctx expires.  On expiry the
+// early when the session winds down or ctx expires.  On expiry the
 // already-collected batch is returned together with the context error so
 // the caller can decide what to do with both.  Delivery is at-most-once: a
 // record handed out in a batch has been consumed from the stream even if
@@ -209,11 +301,14 @@ func (s *Session) Drain(ctx context.Context, max int) (recs []*snet.Record, done
 	return recs, false, nil
 }
 
-// Release ends the session: the run context is cancelled (dropping any
-// in-flight records), the instance's goroutines unwind, and the session
-// slot and statistics are returned to the network.  Idempotent; every
-// caller — including losers of a release race — returns only after the
-// wind-down has completed, so Shutdown's leak-free guarantee holds.
+// Release ends the session.  Isolated: the run context is cancelled
+// (dropping in-flight records) and the call returns once the instance's
+// goroutines have unwound.  Shared: the session's replica is retired
+// through the split close protocol — queued input is dropped, in-flight
+// output is discarded at the engine's demux, and the replica is reclaimed
+// by the warm engine asynchronously; the call returns promptly.  Idempotent
+// in both modes; every caller, including losers of a release race, returns
+// only after the session's teardown has been initiated and its slot freed.
 func (s *Session) Release() {
 	s.mu.Lock()
 	if s.released {
@@ -224,8 +319,7 @@ func (s *Session) Release() {
 	s.released = true
 	s.mu.Unlock()
 
-	s.cancel()
-	s.handle.Wait()
+	s.back.release()
 	s.svc.mu.Lock()
 	delete(s.svc.sessions, s.id)
 	s.svc.mu.Unlock()

@@ -121,8 +121,33 @@ var (
 	SplitDet         = core.SplitDet
 	NamedSplit       = core.NamedSplit
 	NamedSplitDet    = core.NamedSplitDet
-	Sync             = core.Sync
+	// SessionSplit is NamedSplit exempt from WithMaxSplitWidth folding:
+	// distinct tag values always get distinct replicas — the
+	// session-multiplexing configuration of snet/service's shared mode.
+	SessionSplit = core.SessionSplit
+	Sync         = core.Sync
+	// HideTags is a transparent node deleting the given tags from every
+	// record — compose it serially where a routing tag must not travel on.
+	HideTags = core.HideTags
 )
+
+// Replica lifecycle: parallel replication (Split) creates replicas on
+// demand; these retire them again.  NewReplicaClose builds the in-band
+// control record that closes and reclaims the replica of one tag value in
+// FIFO position with the data; NewReplicaCloseAck additionally re-emits the
+// record downstream after the replica's last output — the end-of-replica
+// barrier the session service builds on.  IsReplicaClose recognizes both.
+// ReservedTagPrefix marks the label namespace these (and the session
+// machinery) live in; the textual parsers reject user labels inside it.
+var (
+	NewReplicaClose    = core.NewReplicaClose
+	NewReplicaCloseAck = core.NewReplicaCloseAck
+	IsReplicaClose     = core.IsReplicaClose
+	IsReservedLabel    = core.IsReservedLabel
+)
+
+// ReservedTagPrefix is the runtime-owned label namespace ("__snet_").
+const ReservedTagPrefix = core.ReservedTagPrefix
 
 // Run options.
 var (
@@ -143,6 +168,10 @@ var (
 	WithBoxWorkers    = core.WithBoxWorkers
 	WithMaxStarDepth  = core.WithMaxStarDepth
 	WithMaxSplitWidth = core.WithMaxSplitWidth
+	// WithReplicaIdleReap makes split nodes reclaim replicas idle for the
+	// given duration (goroutines unwound, the "split.<name>.replicas" gauge
+	// decremented) — the leak guard for long-lived runs with churning keys.
+	WithReplicaIdleReap = core.WithReplicaIdleReap
 )
 
 // Typing and analysis.
