@@ -63,6 +63,8 @@ func main() {
 			tables = []*bench.Table{bench.E14Fig1Batch()}
 		case "E15":
 			tables = []*bench.Table{bench.E15SessionMux()}
+		case "E16":
+			tables = []*bench.Table{bench.E16Routing()}
 		default:
 			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (E7 is covered by unit tests)\n", *only)
 			os.Exit(2)

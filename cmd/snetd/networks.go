@@ -133,10 +133,14 @@ func registerLangNets(svc *service.Service, opts service.Options, path string) e
 		if _, err := svc.Network(name); err == nil {
 			return fmt.Errorf("net %q in %s collides with an already registered network", name, path)
 		}
-		// Build once now to surface unbound boxes at startup, but let the
-		// builder rebuild per session so instances never share node state.
-		if _, err := lang.Build(prog, name, reg); err != nil {
-			return err
+		// Compile now: unbound boxes and definite type errors (unreachable
+		// branches, unroutable shapes, missing split tags) refuse startup
+		// with their .snet source positions, instead of surfacing as
+		// runtime routing failures mid-session.  The service compiles the
+		// builder's output once more on first Open and caches the plan;
+		// nodes are stateless blueprints, so every session shares it.
+		if _, err := lang.CompileNet(prog, name, reg); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
 		}
 		svc.Register(name, "from "+path, opts,
 			func(service.Options) (snet.Node, error) {

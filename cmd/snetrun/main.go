@@ -5,7 +5,15 @@
 // Usage:
 //
 //	snetrun [-net name] [-run] [-stream-batch B] [-record '{<n>=5}']... file.snet
+//	snetrun -check file.snet...  # static diagnostics only (see below)
 //	snetrun -list           # show the built-in demo boxes
+//
+// -check compiles every net of the given files (snet.Compile through the
+// language front end): box implementations are stubbed, so any program
+// type-checks without bindings, and definite defects — unreachable parallel
+// branches, unroutable record shapes, signature mismatches, missing split
+// tags, reserved labels — are reported with their .snet source positions.
+// The exit status is nonzero if any file has parse or type errors.
 //
 // Record literals accept tags (<t>=int) and string fields (name=text).
 //
@@ -77,6 +85,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var (
 		netName = fs.String("net", "", "net to build (default: last net in the file)")
 		doRun   = fs.Bool("run", false, "run the network on the given -record inputs")
+		check   = fs.Bool("check", false, "compile-only static diagnostics for every net of the given file(s)")
 		list    = fs.Bool("list", false, "list built-in demo boxes")
 		batch   = fs.Int("stream-batch", 0, "stream batch size B (0: runtime default)")
 		records recordFlags
@@ -89,6 +98,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *list {
 		fmt.Fprintln(stdout, "inc dec double split2 echo")
 		return nil
+	}
+	if *check {
+		if fs.NArg() == 0 {
+			return fmt.Errorf("usage: snetrun -check file.snet...")
+		}
+		return runCheck(fs.Args(), *netName, stdout)
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: snetrun [-net name] [-run] [-record {...}]... file.snet")
@@ -149,6 +164,82 @@ func run(args []string, stdout, stderr io.Writer) error {
 	snap := stats.Snapshot()
 	for _, k := range stats.Keys() {
 		fmt.Fprintf(stdout, "  %-40s %d\n", k, snap[k])
+	}
+	return nil
+}
+
+// stubBoxes registers a no-op implementation for every box declared in the
+// program (including net bodies), so -check type-checks programs whose
+// boxes have no Go bindings: the compile phase only consumes signatures.
+func stubBoxes(prog *lang.Program, reg *lang.Registry) {
+	stub := func(args []any, out *snet.Emitter) error { return nil }
+	var walk func(p *lang.Program)
+	walk = func(p *lang.Program) {
+		for _, bd := range p.Boxes {
+			reg.RegisterFunc(bd.Name, stub)
+		}
+		for _, nd := range p.Nets {
+			if nd.Body != nil {
+				walk(nd.Body)
+			}
+		}
+	}
+	walk(prog)
+}
+
+// runCheck is the -check mode: compile every net (or just -net) of each
+// file and print the static diagnostics; the returned error is non-nil iff
+// any file failed to parse or compile.
+func runCheck(files []string, netName string, stdout io.Writer) error {
+	bad, matched := 0, 0
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		prog, err := lang.Parse(string(src))
+		if err != nil {
+			fmt.Fprintf(stdout, "%s: %v\n", path, err)
+			bad++
+			continue
+		}
+		reg := demoRegistry()
+		stubBoxes(prog, reg)
+		checked := 0
+		for _, nd := range prog.Nets {
+			if netName != "" && nd.Name != netName {
+				continue
+			}
+			checked++
+			plan, cerr := lang.CompileNet(prog, nd.Name, reg)
+			if plan == nil {
+				fmt.Fprintf(stdout, "%s: net %s: %v\n", path, nd.Name, cerr)
+				bad++
+				continue
+			}
+			fmt.Fprintf(stdout, "%s: net %s : %v -> %v\n", path, nd.Name, plan.In(), plan.Out())
+			for _, te := range plan.TypeErrors() {
+				fmt.Fprintf(stdout, "%s: %v\n", path, te)
+				bad++
+			}
+			for _, d := range plan.Warnings() {
+				fmt.Fprintf(stdout, "%s:   %s\n", path, d)
+			}
+		}
+		matched += checked
+		// A file without any net definition is a problem; with -net, a file
+		// simply lacking that name is fine as long as some file has it.
+		if checked == 0 && netName == "" {
+			fmt.Fprintf(stdout, "%s: no net definitions\n", path)
+			bad++
+		}
+	}
+	if netName != "" && matched == 0 {
+		fmt.Fprintf(stdout, "no net named %q in the given file(s)\n", netName)
+		bad++
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d problem(s) found", bad)
 	}
 	return nil
 }

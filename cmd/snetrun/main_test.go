@@ -89,3 +89,67 @@ func TestRunErrors(t *testing.T) {
 		t.Error("expected usage error with no arguments")
 	}
 }
+
+// -check on a clean program prints the inferred signatures and succeeds.
+func TestCheckCleanProgram(t *testing.T) {
+	path := writeProgram(t, countdown)
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-check", path}, &stdout, &stderr); err != nil {
+		t.Fatalf("run -check: %v (out: %s)", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "net countdown : {<n>} -> {<done>}") {
+		t.Fatalf("output %q missing the inferred signature", stdout.String())
+	}
+}
+
+// -check stubs box implementations (no registry bindings needed) and
+// reports definite type errors with their source positions.
+func TestCheckReportsTypeErrorsWithPositions(t *testing.T) {
+	src := `box produce (n) -> (a,b);
+box eatAB (a,b) -> (r);
+box eatAC (a,c) -> (r);
+
+net main connect
+  produce .. (eatAB || eatAC);
+`
+	path := writeProgram(t, src)
+	var stdout, stderr strings.Builder
+	err := run([]string{"-check", path}, &stdout, &stderr)
+	if err == nil {
+		t.Fatalf("run -check accepted a net with an unreachable branch (out: %s)", stdout.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"unreachable-branch", "3:1", "branch[1]", "eatAC"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output %q missing %q", out, want)
+		}
+	}
+}
+
+// -check accepts several files at once (the CI smoke step shape).
+func TestCheckMultipleFiles(t *testing.T) {
+	a := writeProgram(t, countdown)
+	b := writeProgram(t, "box double (<n>) -> (<n>);\nnet twice connect double .. double;\n")
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-check", a, b}, &stdout, &stderr); err != nil {
+		t.Fatalf("run -check: %v (out: %s)", err, stdout.String())
+	}
+	if got := strings.Count(stdout.String(), "net "); got != 2 {
+		t.Fatalf("expected 2 net reports, got %d:\n%s", got, stdout.String())
+	}
+}
+
+// -check -net over several files succeeds when the named net exists in any
+// of them, and fails when it exists in none.
+func TestCheckNamedNetAcrossFiles(t *testing.T) {
+	a := writeProgram(t, countdown)
+	b := writeProgram(t, "box double (<n>) -> (<n>);\nnet twice connect double .. double;\n")
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-check", "-net", "countdown", a, b}, &stdout, &stderr); err != nil {
+		t.Fatalf("run -check -net: %v (out: %s)", err, stdout.String())
+	}
+	stdout.Reset()
+	if err := run([]string{"-check", "-net", "nosuch", a, b}, &stdout, &stderr); err == nil {
+		t.Fatalf("run -check -net nosuch succeeded (out: %s)", stdout.String())
+	}
+}

@@ -1,6 +1,6 @@
 // Quickstart: build a tiny S-Net streaming network from one box and one
-// filter, start it, and stream records through — the smallest end-to-end
-// use of the coordination layer.
+// filter, compile it into a typed Plan, start it, and stream records
+// through — the smallest end-to-end use of the coordination layer.
 package main
 
 import (
@@ -28,11 +28,17 @@ func main() {
 	// Serial composition (the paper's ..) pipelines the two components.
 	net := snet.Serial(square, scale)
 
-	// The network's type signature is inferred, not declared:
-	in, out := snet.Infer(net)
-	fmt.Printf("network type: %v -> %v\n", in, out)
+	// Compile infers the network's type signature bottom-up and rejects
+	// structural defects (unreachable branches, signature mismatches)
+	// before anything runs; the Plan holds the precomputed routing tables
+	// every run shares.
+	plan, err := snet.Compile(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network type: %v -> %v\n", plan.In(), plan.Out())
 
-	h := snet.Start(context.Background(), net)
+	h := plan.Start(context.Background())
 	go func() {
 		for n := 1; n <= 5; n++ {
 			if err := h.Send(snet.NewRecord().SetTag("n", n)); err != nil {

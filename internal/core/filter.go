@@ -6,6 +6,10 @@ import "fmt"
 type filterNode struct {
 	label string
 	spec  *FilterSpec
+	// memo caches the pattern's variant check per record shape — the
+	// filter's slice of the compile-then-run match tables.  A pure function
+	// of the spec, shared by every run.
+	memo *matchMemo
 }
 
 // NewFilter wraps a filter specification as a node.  Records matching the
@@ -17,7 +21,8 @@ func NewFilter(spec *FilterSpec) Node {
 	if spec == nil {
 		panic("core: NewFilter: nil spec")
 	}
-	return &filterNode{label: autoName("filter"), spec: spec}
+	return &filterNode{label: autoName("filter"), spec: spec,
+		memo: newMatchMemo(spec.Pattern.Variant)}
 }
 
 // FilterFrom parses a filter in the paper's notation and wraps it as a node.
@@ -45,10 +50,16 @@ func (f *filterNode) sig(*checker) (RecType, RecType) {
 	return RecType{f.spec.Pattern.Variant}, f.spec.OutType()
 }
 
+// matches is the filter's pattern test with the variant half memoized by
+// record shape.
+func (f *filterNode) matches(rec *Record) bool {
+	return f.memo.matches(f.spec.Pattern, rec)
+}
+
 // score makes filter guards participate in best-match routing: a guarded
 // filter only attracts records its guard admits.
 func (f *filterNode) score(rec *Record) int {
-	if !f.spec.Pattern.Matches(rec) {
+	if !f.matches(rec) {
 		return -1
 	}
 	return len(f.spec.Pattern.Variant)
@@ -71,7 +82,7 @@ func (f *filterNode) run(env *runEnv, in *streamReader, out *streamWriter) {
 		}
 		rec := it.rec
 		env.trace(f.label, "in", rec)
-		if !f.spec.Pattern.Matches(rec) {
+		if !f.matches(rec) {
 			env.stats.Add("filter."+f.label+".nomatch", 1)
 			if !out.send(it) {
 				in.Discard()

@@ -119,6 +119,7 @@ func inheritInto(dst, src *Record, consumed Variant) {
 		}
 		if _, ok := dst.fields[name]; !ok {
 			dst.fields[name] = v
+			dst.shape = ""
 		}
 	}
 	for name, v := range src.tags {
@@ -127,6 +128,7 @@ func inheritInto(dst, src *Record, consumed Variant) {
 		}
 		if _, ok := dst.tags[name]; !ok {
 			dst.tags[name] = v
+			dst.shape = ""
 		}
 	}
 }

@@ -119,6 +119,150 @@ func TestInferSync(t *testing.T) {
 	}
 }
 
+// TestInferTable is the table-driven sweep over every combinator: for each
+// network it checks the inferred input/output types and, through Compile,
+// the definite findings — including flow inheritance through boxes, tag
+// guards on star exit patterns, and reserved-label rejection.
+func TestInferTable(t *testing.T) {
+	echo := func(name, sig string) Node {
+		return NewBox(name, MustParseSignature(sig),
+			func(args []any, out *Emitter) error { return out.Out(1, args...) })
+	}
+	cases := []struct {
+		name     string
+		net      func() Node
+		opts     []CompileOption
+		wantIn   RecType
+		wantOut  RecType
+		wantErrs []string // expected TypeError codes, in order; empty = clean
+	}{
+		{
+			name:    "box",
+			net:     func() Node { return echo("b", "(a,<t>) -> (a,<t>)") },
+			wantIn:  RecType{NewVariant(Field("a"), Tag("t"))},
+			wantOut: RecType{NewVariant(Field("a"), Tag("t"))},
+		},
+		{
+			name:    "filter",
+			net:     func() Node { return MustFilter("{a,<c>} -> {a,<t>}") },
+			wantIn:  RecType{NewVariant(Field("a"), Tag("c"))},
+			wantOut: RecType{NewVariant(Field("a"), Tag("t"))},
+		},
+		{
+			name: "serial-flow-inheritance",
+			net: func() Node {
+				// b consumes y and z; z only arrives because a's box
+				// inherits it from the input record.
+				return Serial(echo("a", "(x) -> (y)"), echo("b", "(y,z) -> (w)"))
+			},
+			opts:    []CompileOption{WithInputType(RecType{NewVariant(Field("x"), Field("z"))})},
+			wantIn:  RecType{NewVariant(Field("x"))},
+			wantOut: RecType{NewVariant(Field("w"))},
+		},
+		{
+			name: "parallel-union",
+			net: func() Node {
+				return Parallel(echo("p", "(a) -> (u)"), echo("q", "(b) -> (v)"))
+			},
+			wantIn:  RecType{NewVariant(Field("a")), NewVariant(Field("b"))},
+			wantOut: RecType{NewVariant(Field("u")), NewVariant(Field("v"))},
+		},
+		{
+			name: "parallel-det-shadowed",
+			net: func() Node {
+				return ParallelDet(echo("p", "(a) -> (u)"), echo("q", "(a) -> (v)"))
+			},
+			wantIn:   RecType{NewVariant(Field("a")), NewVariant(Field("a"))},
+			wantOut:  RecType{NewVariant(Field("u")), NewVariant(Field("v"))},
+			wantErrs: []string{ErrCodeUnreachable},
+		},
+		{
+			name: "star-guarded-exit",
+			net: func() Node {
+				return Star(echo("lvl", "(board,<level>) -> (board,<level>)"),
+					MustParsePattern("{<level>} | <level> > 40"))
+			},
+			opts:    []CompileOption{WithInputType(RecType{NewVariant(Field("board"), Tag("level"))})},
+			wantIn:  RecType{NewVariant(Field("board"), Tag("level")), NewVariant(Tag("level"))},
+			wantOut: RecType{NewVariant(Tag("level"))},
+		},
+		{
+			name: "split-adds-index-tag",
+			net: func() Node {
+				return Split(echo("w", "(<n>) -> (<n>)"), "k")
+			},
+			wantIn:  RecType{NewVariant(Tag("n"), Tag("k"))},
+			wantOut: RecType{NewVariant(Tag("n"))},
+		},
+		{
+			name: "split-missing-tag",
+			net: func() Node {
+				return Serial(echo("a", "(x) -> (y)"), Split(echo("w", "(y) -> (y)"), "k"))
+			},
+			opts:     []CompileOption{WithInputType(RecType{NewVariant(Field("x"))})},
+			wantIn:   RecType{NewVariant(Field("x"))},
+			wantOut:  RecType{NewVariant(Field("y"))},
+			wantErrs: []string{ErrCodeMissingTag},
+		},
+		{
+			name: "sync-merge",
+			net: func() Node {
+				return Sync(MustParsePattern("{a}"), MustParsePattern("{b,<t>}"))
+			},
+			wantIn:  RecType{NewVariant(Field("a")), NewVariant(Field("b"), Tag("t"))},
+			wantOut: RecType{NewVariant(Field("a"), Field("b"), Tag("t"))},
+		},
+		{
+			name: "reserved-label-compile",
+			net: func() Node {
+				return NewBox("evil", &BoxSignature{In: []Label{Field("__snet_x")},
+					Out: [][]Label{{Field("__snet_x")}}}, nopFn)
+			},
+			wantIn:   RecType{NewVariant(Field("__snet_x"))},
+			wantOut:  RecType{NewVariant(Field("__snet_x"))},
+			wantErrs: []string{ErrCodeReserved},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plan, err := Compile(tc.net(), tc.opts...)
+			var codes []string
+			for _, te := range plan.TypeErrors() {
+				codes = append(codes, te.Code)
+			}
+			if len(tc.wantErrs) == 0 {
+				if err != nil {
+					t.Fatalf("Compile: %v", err)
+				}
+			} else {
+				if err == nil {
+					t.Fatalf("Compile accepted; want codes %v", tc.wantErrs)
+				}
+				if len(codes) != len(tc.wantErrs) {
+					t.Fatalf("codes = %v, want %v", codes, tc.wantErrs)
+				}
+				for i, c := range tc.wantErrs {
+					if codes[i] != c {
+						t.Fatalf("codes = %v, want %v", codes, tc.wantErrs)
+					}
+				}
+			}
+			checkType := func(what string, got, want RecType) {
+				if len(got) != len(want) {
+					t.Fatalf("%s = %v, want %v", what, got, want)
+				}
+				for i := range want {
+					if !got[i].Equal(want[i]) {
+						t.Fatalf("%s = %v, want %v", what, got, want)
+					}
+				}
+			}
+			checkType("in", plan.In(), tc.wantIn)
+			checkType("out", plan.Out(), tc.wantOut)
+		})
+	}
+}
+
 func TestNodeStringRendering(t *testing.T) {
 	n := Serial(
 		NewBox("cO", MustParseSignature("(board) -> (board,opts)"), nopFn),

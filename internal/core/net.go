@@ -174,6 +174,15 @@ func (h *Handle) Out() <-chan *Record { return h.outRec }
 // Stats returns the run's statistics collector.
 func (h *Handle) Stats() *Stats { return h.env.stats }
 
+// Err returns the first runtime error the run has reported (an unroutable
+// record's *NoRouteError, a rejected box input, a panicking box, ...), or
+// nil.  Errors do not stop the network — the faulty record is dropped and
+// the stream continues — so Err complements WithErrorHandler as the
+// after-the-fact check: errors.Is(h.Err(), ErrNoRoute) distinguishes
+// routing failures.  It may be called at any time; after Wait it is the
+// run's final verdict.
+func (h *Handle) Err() error { return h.env.err() }
+
 // Cancel aborts the run.  Records in flight are dropped.
 func (h *Handle) Cancel() { h.cancel() }
 

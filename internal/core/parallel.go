@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // parallelNode is parallel composition: incoming records are routed to the
@@ -15,6 +16,13 @@ type parallelNode struct {
 	label    string
 	det      bool
 	branches []Node
+
+	// table is the node's compiled dispatch table — a pure function of the
+	// branch list (accepted types and guards), never of a run, so it is
+	// cached on the node and shared by every run: built eagerly by Compile,
+	// lazily on first use under the legacy Start path.
+	tableOnce sync.Once
+	table     *routeTable
 }
 
 // Parallel builds the nondeterministic parallel combinator (A||B); it
@@ -70,26 +78,37 @@ type recordScorer interface {
 	score(rec *Record) int
 }
 
+// routes returns the node's compiled dispatch table, building it on first
+// use.
+func (n *parallelNode) routes() *routeTable {
+	n.tableOnce.Do(func() { n.table = buildRouteTable(n.det, n.branches) })
+	return n.table
+}
+
 func (n *parallelNode) run(env *runEnv, in *streamReader, out *streamWriter) {
 	defer out.close()
 	f := newFanout(env, n.det, in)
 	ports := make([]*branchPort, len(n.branches))
-	scorers := make([]func(*Record) int, len(n.branches))
 	for i, b := range n.branches {
-		if s, ok := b.(recordScorer); ok {
-			scorers[i] = s.score
-		} else {
-			t, _ := b.sig(nil)
-			scorers[i] = func(r *Record) int { return MatchScore(r, t) }
-		}
 		ports[i] = f.addBranch(b)
+	}
+	// Precomputed shape-keyed dispatch is the default; WithLegacyRouting
+	// restores the per-record scoring loop (the E16/BenchmarkRouting
+	// baseline).
+	var table *routeTable
+	var scorers []func(*Record) int
+	if env.legacyRouting {
+		scorers = legacyScorers(n.branches)
+	} else {
+		table = n.routes()
 	}
 	mergeDone := make(chan struct{})
 	go func() {
 		f.mergeLoop(out, f.level)
 		close(mergeDone)
 	}()
-	// Per-run rotation counter for nondeterministic tie-breaking.
+	// Per-run rotation counter for nondeterministic tie-breaking: "one is
+	// selected non-deterministically" among equally-scored branches.
 	rr := 0
 	for {
 		it, ok := in.recv()
@@ -103,35 +122,21 @@ func (n *parallelNode) run(env *runEnv, in *streamReader, out *streamWriter) {
 			continue
 		}
 		rec := it.rec
-		best, count := -1, 0
-		for _, sc := range scorers {
-			if s := sc(rec); s > best {
-				best, count = s, 1
-			} else if s == best && s >= 0 {
-				count++
-			}
+		var chosen int
+		if table != nil {
+			chosen = table.dispatch(rec, &rr)
+		} else {
+			chosen = legacyDispatch(scorers, rec, n.det, &rr)
 		}
-		if best < 0 {
-			env.error(fmt.Errorf("core: parallel %s: record %s matches no branch", n.label, rec))
+		if chosen < 0 {
+			env.error(&NoRouteError{
+				Net:      n.label,
+				Record:   rec.String(),
+				Shape:    rec.Labels(),
+				Branches: n.routes().accept,
+			})
 			env.stats.Add("parallel."+n.label+".unroutable", 1)
 			continue
-		}
-		// Among equally-scored branches pick the leftmost (det) or
-		// rotate (nondet) — "one is selected non-deterministically".
-		pick := 0
-		if !n.det && count > 1 {
-			pick = rr % count
-			rr++
-		}
-		chosen := -1
-		for i, sc := range scorers {
-			if sc(rec) == best {
-				if pick == 0 {
-					chosen = i
-					break
-				}
-				pick--
-			}
 		}
 		env.stats.Add(fmt.Sprintf("parallel.%s.branch%d", n.label, chosen), 1)
 		if !f.route(ports[chosen], rec) || !f.afterRoute() {

@@ -13,9 +13,12 @@ type Pattern struct {
 // evaluate to nonzero over the record's tags.  A guard that fails to
 // evaluate (e.g. references an absent tag) does not match.
 func (p Pattern) Matches(r *Record) bool {
-	if !recordSatisfies(r, p.Variant) {
-		return false
-	}
+	return recordSatisfies(r, p.Variant) && p.guardOK(r)
+}
+
+// guardOK evaluates the optional tag guard over the record's tags; a guard
+// that fails to evaluate (e.g. references an absent tag) does not pass.
+func (p Pattern) guardOK(r *Record) bool {
 	if p.Guard == nil {
 		return true
 	}

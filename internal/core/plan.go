@@ -1,0 +1,408 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+)
+
+// The compile half of the compile-then-run API.
+//
+// A Node tree is an immutable blueprint; Compile turns it into a checked,
+// inspectable Plan: bottom-up type inference over the combinator graph (§3–4
+// of the paper — box signatures seed the leaves, Serial checks
+// producer/consumer compatibility under flow inheritance, the branching
+// combinators compute per-branch accepted types), eager construction of the
+// routing tables the hot path consumes (route.go), a serializable topology
+// of the typed graph, and structured TypeErrors for defects that previously
+// surfaced only at runtime: unreachable parallel branches, record shapes no
+// branch accepts, box signature mismatches, records reaching a split without
+// its index tag, and reserved-label violations in programmatically built
+// networks.
+//
+// Definite errors come from a shape-flow pass (flow.go) that propagates the
+// network's inferred (or declared, WithInputType) input variants through the
+// graph.  The analysis is closed-world over that input type: records outside
+// it still route correctly at runtime (the dispatch tables compute decisions
+// for unforeseen shapes on demand), they are simply outside the static
+// contract.
+
+// TypeError codes.
+const (
+	// ErrCodeUnreachable marks a parallel branch no variant of the input
+	// type ever routes to.
+	ErrCodeUnreachable = "unreachable-branch"
+	// ErrCodeNoRoute marks an input variant no parallel branch accepts —
+	// the compile-time form of the runtime's ErrNoRoute.
+	ErrCodeNoRoute = "no-route"
+	// ErrCodeBoxReject marks a variant that reaches a box without
+	// satisfying its input signature.
+	ErrCodeBoxReject = "box-reject"
+	// ErrCodeMissingTag marks a variant that reaches parallel replication
+	// without the split's index tag.
+	ErrCodeMissingTag = "missing-index-tag"
+	// ErrCodeReserved marks a signature, pattern, filter or split tag using
+	// the runtime's reserved "__snet_" label namespace.
+	ErrCodeReserved = "reserved-label"
+)
+
+// TypeError is one definite finding of the compile phase.  Path locates the
+// offending node from the root ("serial#3/parallel#5/branch[1]/box inc");
+// Variant, when non-nil, is the record shape exhibiting the defect.  Pos is
+// empty unless a surface-language front end (snet/lang) decorated the error
+// with a source position.
+type TypeError struct {
+	Code    string  // one of the ErrCode constants
+	Path    string  // node path from the compiled root
+	Node    string  // the offending node's name
+	Variant Variant // offending record shape, if any
+	Msg     string
+	Pos     string // source position ("line:col"), if known
+
+	subject Node
+}
+
+func (e *TypeError) Error() string {
+	var b strings.Builder
+	b.WriteString("snet: ")
+	if e.Pos != "" {
+		b.WriteString(e.Pos)
+		b.WriteString(": ")
+	}
+	fmt.Fprintf(&b, "type error [%s] at %s: %s", e.Code, e.Path, e.Msg)
+	return b.String()
+}
+
+// Subject returns the node the error is about, for front ends that map
+// nodes back to source positions.
+func (e *TypeError) Subject() Node { return e.subject }
+
+// CompileError aggregates every TypeError of one Compile call.
+type CompileError struct {
+	Errors []*TypeError
+}
+
+func (e *CompileError) Error() string {
+	if len(e.Errors) == 1 {
+		return e.Errors[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more type errors)", e.Errors[0].Error(), len(e.Errors)-1)
+}
+
+// Unwrap exposes the individual TypeErrors to errors.Is/As.
+func (e *CompileError) Unwrap() []error {
+	out := make([]error, len(e.Errors))
+	for i, te := range e.Errors {
+		out[i] = te
+	}
+	return out
+}
+
+// Topology is the serializable typed graph of a compiled network — the
+// inspectable artifact behind snetd's /api/networks and snetrun -check.
+type Topology struct {
+	Kind     string      `json:"kind"` // box, filter, sync, observe, hide, serial, parallel, star, split
+	Name     string      `json:"name"`
+	Path     string      `json:"path"`
+	Det      bool        `json:"det,omitempty"`
+	In       []string    `json:"in,omitempty"`  // accepted input variants
+	Out      []string    `json:"out,omitempty"` // produced output variants
+	Sig      string      `json:"sig,omitempty"` // box signature / filter spec
+	Tag      string      `json:"tag,omitempty"` // split index tag
+	Exit     string      `json:"exit,omitempty"`
+	Patterns []string    `json:"patterns,omitempty"` // synchrocell patterns
+	Children []*Topology `json:"children,omitempty"`
+}
+
+// compileCfg collects CompileOptions.
+type compileCfg struct {
+	input RecType
+}
+
+// CompileOption configures Compile.
+type CompileOption func(*compileCfg)
+
+// WithInputType declares the network's input type, overriding bottom-up
+// inference as the seed of the shape-flow diagnostics: the compile contract
+// narrows to exactly the declared variants, which typically sharpens
+// unreachable-branch and no-route findings.
+func WithInputType(t RecType) CompileOption {
+	return func(c *compileCfg) { c.input = t }
+}
+
+// Plan is a compiled network: the checked blueprint plus everything the
+// runtime precomputed from it.  A Plan is immutable and safe for concurrent
+// use; Start may be called any number of times (each call is one run), and
+// all runs share the plan's routing tables.
+type Plan struct {
+	root     Node
+	in, out  RecType
+	warnings []Diagnostic
+	typeErrs []*TypeError
+	topo     *Topology
+}
+
+// Compile type-checks the network and precomputes its routing artifacts.
+// On type errors it returns a non-nil *CompileError whose Errors list every
+// finding; the returned Plan is still usable (Start runs the network with
+// the defects intact), which is what the legacy Start shim relies on —
+// callers that care about static guarantees must check the error.
+func Compile(root Node, opts ...CompileOption) (*Plan, error) {
+	if root == nil {
+		panic("core: Compile: nil root")
+	}
+	var cfg compileCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	chk := &checker{}
+	in, out := root.sig(chk)
+	p := &Plan{root: root, in: in, out: out, warnings: chk.diags}
+
+	c := newCompiler()
+	p.topo = c.walk(root, "")
+	seed := cfg.input
+	if seed == nil {
+		seed = in
+	}
+	c.flowRoot(root, seed)
+	p.warnings = append(p.warnings, c.warns...)
+	p.typeErrs = c.errs
+	if len(c.errs) > 0 {
+		return p, &CompileError{Errors: c.errs}
+	}
+	return p, nil
+}
+
+// MustCompile is Compile panicking on type errors.
+func MustCompile(root Node, opts ...CompileOption) *Plan {
+	p, err := Compile(root, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Root returns the compiled blueprint.
+func (p *Plan) Root() Node { return p.root }
+
+// In returns the network's inferred input type.
+func (p *Plan) In() RecType { return p.in }
+
+// Out returns the network's inferred output type.
+func (p *Plan) Out() RecType { return p.out }
+
+// Warnings returns the non-fatal findings: static mismatches that flow
+// inheritance may still satisfy, approximated analyses, and the legacy
+// checker's diagnostics.
+func (p *Plan) Warnings() []Diagnostic { return p.warnings }
+
+// TypeErrors returns the definite findings (the same list a failing Compile
+// wraps in its CompileError) — empty for a cleanly compiled plan.
+func (p *Plan) TypeErrors() []*TypeError { return p.typeErrs }
+
+// Topology returns the serializable typed graph.
+func (p *Plan) Topology() *Topology { return p.topo }
+
+func (p *Plan) String() string {
+	return fmt.Sprintf("plan %s : %v -> %v", p.root, p.in, p.out)
+}
+
+// Start instantiates one run of the compiled network; see Handle.  The
+// blueprint was checked and its routing tables built at Compile time, so
+// instantiation is pure runtime setup.
+func (p *Plan) Start(ctx context.Context, opts ...Option) *Handle {
+	return Start(ctx, p.root, opts...)
+}
+
+// RunAll is the Plan form of the RunAll harness.
+func (p *Plan) RunAll(ctx context.Context, inputs []*Record, opts ...Option) ([]*Record, *Stats, error) {
+	return RunAll(ctx, p.root, inputs, opts...)
+}
+
+// RunUntil is the Plan form of the RunUntil harness.
+func (p *Plan) RunUntil(ctx context.Context, inputs []*Record, stop func(*Record) bool, opts ...Option) (*Record, *Stats, error) {
+	return RunUntil(ctx, p.root, inputs, stop, opts...)
+}
+
+// maxCompileErrors caps the error list of one Compile.
+const maxCompileErrors = 64
+
+// compiler is the state of one Compile walk: collected findings plus the
+// per-parallel-branch reachability accumulators finalized by flowRoot.
+type compiler struct {
+	errs    []*TypeError
+	warns   []Diagnostic
+	errKeys map[string]bool
+
+	// Parallel-branch reachability accumulates across the whole flow (a
+	// star operand is flowed iteratively and a node instance may appear at
+	// several graph positions, so per-call judgement would misreport) and
+	// is settled in finishParallel.  parInexact marks nodes some call
+	// reached with an approximate variant set.
+	parOrder   []*parallelNode
+	parIn      map[*parallelNode][]*varSet
+	parPath    map[*parallelNode]string
+	parFed     map[*parallelNode]bool
+	parInexact map[*parallelNode]bool
+}
+
+func newCompiler() *compiler {
+	return &compiler{
+		errKeys:    map[string]bool{},
+		parIn:      map[*parallelNode][]*varSet{},
+		parPath:    map[*parallelNode]string{},
+		parFed:     map[*parallelNode]bool{},
+		parInexact: map[*parallelNode]bool{},
+	}
+}
+
+// typeError records a definite finding (deduplicated); when the flow has
+// lost exactness (downstream of a synchrocell or a truncated variant set)
+// the finding is downgraded to a warning.
+func (c *compiler) typeError(exact bool, code, path string, n Node, variant Variant, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if !exact {
+		c.warnf(path, "%s (imprecise analysis; would be a %s error)", msg, code)
+		return
+	}
+	key := code + "\x00" + path + "\x00" + variant.String()
+	if c.errKeys[key] || len(c.errs) >= maxCompileErrors {
+		return
+	}
+	c.errKeys[key] = true
+	name := ""
+	if n != nil {
+		name = n.name()
+	}
+	c.errs = append(c.errs, &TypeError{
+		Code: code, Path: path, Node: name, Variant: variant, Msg: msg, subject: n,
+	})
+}
+
+func (c *compiler) warnf(path, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := "warn\x00" + path + "\x00" + msg
+	if c.errKeys[key] {
+		return
+	}
+	c.errKeys[key] = true
+	c.warns = append(c.warns, Diagnostic{Node: path, Warning: true, Msg: msg})
+}
+
+// renderType renders a RecType as per-variant strings for the topology.
+func renderType(t RecType) []string {
+	out := make([]string, len(t))
+	for i, v := range t {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// reservedIn reports the first reserved label of a variant, if any.
+func reservedIn(v Variant) (Label, bool) {
+	for _, l := range v.Labels() {
+		if IsReservedLabel(l.Name) {
+			return l, true
+		}
+	}
+	return Label{}, false
+}
+
+// checkReservedLabels rejects reserved-namespace labels in user-declared
+// types.  The textual parsers already refuse them; this catches
+// programmatically built nodes.
+func (c *compiler) checkReservedLabels(path string, n Node) {
+	report := func(l Label, where string) {
+		c.typeError(true, ErrCodeReserved, path, n, nil,
+			"%s label %s lies in the runtime's reserved %q namespace", where, l, ReservedTagPrefix)
+	}
+	switch n := n.(type) {
+	case *boxNode:
+		if l, bad := reservedIn(NewVariant(n.boxSig.In...)); bad {
+			report(l, "box input")
+		}
+		for _, tuple := range n.boxSig.Out {
+			if l, bad := reservedIn(NewVariant(tuple...)); bad {
+				report(l, "box output")
+			}
+		}
+	case *filterNode:
+		if l, bad := reservedIn(n.spec.Pattern.Variant); bad {
+			report(l, "filter pattern")
+		}
+		for _, items := range n.spec.Outputs {
+			for _, it := range items {
+				if IsReservedLabel(it.Name) {
+					report(Label{Name: it.Name, IsTag: it.IsTag}, "filter output")
+				}
+			}
+		}
+	case *starNode:
+		if l, bad := reservedIn(n.exit.Variant); bad {
+			report(l, "star exit pattern")
+		}
+	case *splitNode:
+		// SessionSplit (uncapped) is the runtime's own session-multiplexing
+		// configuration; its reserved tag is intentional.
+		if !n.uncapped && IsReservedLabel(n.tag) {
+			report(Tag(n.tag), "split index")
+		}
+	case *syncNode:
+		for _, p := range n.patterns {
+			if l, bad := reservedIn(p.Variant); bad {
+				report(l, "synchrocell pattern")
+			}
+		}
+	}
+}
+
+// walk builds the topology, checks reserved labels, and eagerly builds the
+// routing tables.  prefix is the parent path including its trailing
+// separator; the node's path is prefix + name().
+func (c *compiler) walk(n Node, prefix string) *Topology {
+	path := prefix + n.name()
+	in, out := n.sig(nil)
+	topo := &Topology{Name: n.name(), Path: path, In: renderType(in), Out: renderType(out)}
+	c.checkReservedLabels(path, n)
+	switch n := n.(type) {
+	case *boxNode:
+		topo.Kind = "box"
+		topo.Sig = n.boxSig.String()
+	case *filterNode:
+		topo.Kind = "filter"
+		topo.Sig = n.spec.String()
+	case *identityNode:
+		topo.Kind = "observe"
+	case *hideNode:
+		topo.Kind = "hide"
+	case *syncNode:
+		topo.Kind = "sync"
+		for _, p := range n.patterns {
+			topo.Patterns = append(topo.Patterns, p.String())
+		}
+	case *serialNode:
+		topo.Kind = "serial"
+		topo.Children = []*Topology{c.walk(n.a, path+"/"), c.walk(n.b, path+"/")}
+	case *parallelNode:
+		topo.Kind = "parallel"
+		topo.Det = n.det
+		n.routes() // build the dispatch table at compile time
+		for i, b := range n.branches {
+			topo.Children = append(topo.Children, c.walk(b, fmt.Sprintf("%s/branch[%d]/", path, i)))
+		}
+	case *starNode:
+		topo.Kind = "star"
+		topo.Det = n.det
+		topo.Exit = n.exit.String()
+		topo.Children = []*Topology{c.walk(n.operand, path+"/operand/")}
+	case *splitNode:
+		topo.Kind = "split"
+		topo.Det = n.det
+		topo.Tag = n.tag
+		topo.Children = []*Topology{c.walk(n.operand, path+"/operand/")}
+	default:
+		topo.Kind = "node"
+	}
+	return topo
+}

@@ -29,6 +29,11 @@ import (
 type Record struct {
 	fields map[string]any
 	tags   map[string]int
+	// shape memoizes ShapeKey — the canonical rendering of the record's
+	// label set used as the routing-table key.  It is invalidated by any
+	// mutation that changes the label set (value-only updates keep it).
+	// Like the record itself it is not safe for concurrent mutation.
+	shape string
 }
 
 // NewRecord returns an empty record.
@@ -39,6 +44,9 @@ func NewRecord() *Record {
 // SetField associates a field label with a value and returns the record for
 // chaining.
 func (r *Record) SetField(name string, v any) *Record {
+	if _, ok := r.fields[name]; !ok {
+		r.shape = ""
+	}
 	r.fields[name] = v
 	return r
 }
@@ -46,6 +54,9 @@ func (r *Record) SetField(name string, v any) *Record {
 // SetTag associates a tag label with an integer and returns the record for
 // chaining.
 func (r *Record) SetTag(name string, v int) *Record {
+	if _, ok := r.tags[name]; !ok {
+		r.shape = ""
+	}
 	r.tags[name] = v
 	return r
 }
@@ -82,10 +93,20 @@ func (r *Record) MustTag(name string) int {
 }
 
 // DeleteField removes a field if present.
-func (r *Record) DeleteField(name string) { delete(r.fields, name) }
+func (r *Record) DeleteField(name string) {
+	if _, ok := r.fields[name]; ok {
+		r.shape = ""
+		delete(r.fields, name)
+	}
+}
 
 // DeleteTag removes a tag if present.
-func (r *Record) DeleteTag(name string) { delete(r.tags, name) }
+func (r *Record) DeleteTag(name string) {
+	if _, ok := r.tags[name]; ok {
+		r.shape = ""
+		delete(r.tags, name)
+	}
+}
 
 // HasLabel reports whether the record carries the given label.
 func (r *Record) HasLabel(l Label) bool {
@@ -145,7 +166,37 @@ func (r *Record) Copy() *Record {
 	for k, v := range r.tags {
 		c.tags[k] = v
 	}
+	c.shape = r.shape
 	return c
+}
+
+// ShapeKey returns the canonical rendering of the record's label set —
+// sorted field names, '|', sorted tag names — the key under which the
+// routing tables memoize per-shape dispatch decisions.  Two records have the
+// same ShapeKey iff they have the same type (Labels).  The key is cached on
+// the record and survives value-only mutations, so a record crossing several
+// routing points pays the sort once.
+func (r *Record) ShapeKey() string {
+	if r.shape != "" {
+		return r.shape
+	}
+	var b strings.Builder
+	b.Grow(8 * (len(r.fields) + len(r.tags) + 1))
+	for i, k := range r.FieldNames() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+	}
+	b.WriteByte('|')
+	for i, k := range r.TagNames() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+	}
+	r.shape = b.String()
+	return r.shape
 }
 
 // String renders the record as {field=value, ..., <tag>=n, ...} with sorted

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Precomputed routing (the compile-then-run hot path).
+//
+// The paper's best-match dispatch (§4) is a property of the *network*: which
+// branch a record takes depends only on the record's type (its label set)
+// and, for guarded filters, on its tag values.  The per-branch accepted
+// types are static, so the expensive part of routing — scoring the record
+// against every branch's multivariant input type — can be computed once per
+// record *shape* and reused for every record of that shape, across every
+// run sharing the node (service sessions above all).
+//
+// routeTable is that artifact for one parallel combinator: per-branch
+// accepted types split into a statically scorable part and guard-bearing
+// filter branches, plus a shape-keyed memo of dispatch decisions.
+// matchMemo is the single-pattern analogue used by serial replication exits
+// and filters.  Both are pure functions of the node (never of a run), so
+// they live on the node itself and are built once — eagerly by Compile,
+// lazily on first use under the legacy Start path.
+
+// maxMemoEntries caps every shape memo: networks see a handful of record
+// shapes in practice, but a pathological workload could synthesize fresh
+// labels per record; beyond the cap decisions are computed without being
+// stored.
+const maxMemoEntries = 1 << 12
+
+// ErrNoRoute is the sentinel under every routing failure of parallel
+// composition: a record whose type matches no branch.  The concrete error is
+// a *NoRouteError carrying the record's variant and the branch types.
+var ErrNoRoute = errors.New("core: record matches no parallel branch")
+
+// NoRouteError reports one unroutable record: it carries the parallel
+// combinator's identity, the record's variant (its label set), and the
+// inferred accepted input type of every branch, so the failure is
+// diagnosable without re-running under a tracer.  It unwraps to ErrNoRoute.
+// A network accepted by Compile never produces it for records within the
+// inferred input type.
+type NoRouteError struct {
+	Net      string    // the parallel combinator's label
+	Record   string    // the record, rendered
+	Shape    Variant   // the record's variant (label set)
+	Branches []RecType // per-branch accepted input types, in branch order
+}
+
+func (e *NoRouteError) Error() string {
+	return fmt.Sprintf("core: parallel %s: record %s (variant %s) matches no branch %v",
+		e.Net, e.Record, e.Shape, e.Branches)
+}
+
+func (e *NoRouteError) Unwrap() error { return ErrNoRoute }
+
+// matchMemo caches, per record shape, whether records of that shape carry
+// every label of one variant — the static half of Pattern matching.  Safe
+// for concurrent use; shared across runs.
+type matchMemo struct {
+	variant Variant
+	memo    sync.Map // ShapeKey → bool
+	size    atomic.Int64
+}
+
+func newMatchMemo(v Variant) *matchMemo { return &matchMemo{variant: v} }
+
+// satisfies reports whether rec carries every label of the memo's variant.
+func (m *matchMemo) satisfies(rec *Record) bool {
+	key := rec.ShapeKey()
+	if v, ok := m.memo.Load(key); ok {
+		return v.(bool)
+	}
+	ok := recordSatisfies(rec, m.variant)
+	if m.size.Load() < maxMemoEntries {
+		if _, loaded := m.memo.LoadOrStore(key, ok); !loaded {
+			m.size.Add(1)
+		}
+	}
+	return ok
+}
+
+// matches is p.Matches(rec) with the variant check memoized; p must be the
+// pattern the memo was built from.
+func (m *matchMemo) matches(p Pattern, rec *Record) bool {
+	return m.satisfies(rec) && p.guardOK(rec)
+}
+
+// guardedBranch is a parallel branch whose routing score depends on tag
+// values, not only on the record's shape: a filter with a tag guard.
+type guardedBranch struct {
+	idx     int
+	pattern Pattern
+}
+
+// dispatchEntry is the memoized routing decision for one record shape:
+// the best static score with its tied branches, plus the guarded branches
+// whose variant the shape satisfies (their guards still evaluate per
+// record).  For the common all-static case dispatch is a map lookup and a
+// slice index.
+type dispatchEntry struct {
+	best  int         // best static score (-1: no static branch matches)
+	ties  []int       // static branches scoring best, ascending
+	cands []guardCand // guarded branches compatible with the shape, ascending
+}
+
+type guardCand struct {
+	idx   int
+	score int
+	guard TagExpr
+}
+
+// routeTable is the precomputed dispatch table of one parallel combinator.
+type routeTable struct {
+	det    bool
+	accept []RecType // per-branch accepted input type (diagnostics, NoRouteError)
+	static []RecType // statically scorable accepted type; nil for guarded branches
+	gb     []guardedBranch
+	memo   sync.Map // ShapeKey → *dispatchEntry
+	size   atomic.Int64
+}
+
+// buildRouteTable compiles the branch list of a parallel combinator.
+func buildRouteTable(det bool, branches []Node) *routeTable {
+	t := &routeTable{
+		det:    det,
+		accept: make([]RecType, len(branches)),
+		static: make([]RecType, len(branches)),
+	}
+	for i, b := range branches {
+		if f, ok := b.(*filterNode); ok && f.spec.Pattern.Guard != nil {
+			// A guarded filter only attracts records its guard admits;
+			// the variant part is still static and memoizes by shape.
+			t.gb = append(t.gb, guardedBranch{idx: i, pattern: f.spec.Pattern})
+			t.accept[i] = RecType{f.spec.Pattern.Variant}
+			continue
+		}
+		in, _ := b.sig(nil)
+		t.accept[i] = in
+		t.static[i] = in
+	}
+	return t
+}
+
+// entry returns (building and memoizing on demand) the dispatch entry for
+// the record's shape.
+func (t *routeTable) entry(rec *Record) *dispatchEntry {
+	key := rec.ShapeKey()
+	if e, ok := t.memo.Load(key); ok {
+		return e.(*dispatchEntry)
+	}
+	e := t.buildEntry(rec.Labels())
+	if t.size.Load() < maxMemoEntries {
+		if prev, loaded := t.memo.LoadOrStore(key, e); loaded {
+			return prev.(*dispatchEntry)
+		}
+		t.size.Add(1)
+	}
+	return e
+}
+
+// buildEntry scores one shape against every branch's static type.
+func (t *routeTable) buildEntry(shape Variant) *dispatchEntry {
+	e := &dispatchEntry{best: -1}
+	for i, st := range t.static {
+		if st == nil {
+			continue
+		}
+		s := -1
+		for _, v := range st {
+			if len(v) > s && v.SubsetOf(shape) {
+				s = len(v)
+			}
+		}
+		if s < 0 {
+			continue
+		}
+		switch {
+		case s > e.best:
+			e.best, e.ties = s, append(e.ties[:0], i)
+		case s == e.best:
+			e.ties = append(e.ties, i)
+		}
+	}
+	for _, g := range t.gb {
+		if g.pattern.Variant.SubsetOf(shape) {
+			e.cands = append(e.cands,
+				guardCand{idx: g.idx, score: len(g.pattern.Variant), guard: g.pattern.Guard})
+		}
+	}
+	return e
+}
+
+// dispatch picks the branch for one record: the memoized static decision,
+// refined by evaluating the guards of shape-compatible guarded branches.
+// rr is the caller's per-run rotation counter for nondeterministic ties;
+// -1 means no branch accepts the record.
+func (t *routeTable) dispatch(rec *Record, rr *int) int {
+	e := t.entry(rec)
+	best, ties := e.best, e.ties
+	if len(e.cands) > 0 {
+		var extra []int
+		for _, c := range e.cands {
+			if c.score < best {
+				continue // cannot win even if the guard passes
+			}
+			if !(Pattern{Guard: c.guard}).guardOK(rec) {
+				continue
+			}
+			if c.score > best {
+				best, ties, extra = c.score, nil, extra[:0]
+			}
+			extra = append(extra, c.idx)
+		}
+		if len(extra) > 0 {
+			ties = mergeAscending(ties, extra)
+		}
+	}
+	if best < 0 || len(ties) == 0 {
+		return -1
+	}
+	if t.det || len(ties) == 1 {
+		// Deterministic ties resolve to the leftmost branch.
+		return ties[0]
+	}
+	pick := ties[*rr%len(ties)]
+	*rr++
+	return pick
+}
+
+// mergeAscending merges two ascending index slices without duplicates.
+func mergeAscending(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// legacyScorers is the pre-table routing path: one closure per branch
+// rescoring every record.  It is kept as the baseline of BenchmarkRouting
+// and E16 (WithLegacyRouting), and as the semantics the table is tested
+// against.
+func legacyScorers(branches []Node) []func(*Record) int {
+	scorers := make([]func(*Record) int, len(branches))
+	for i, b := range branches {
+		if s, ok := b.(recordScorer); ok {
+			scorers[i] = s.score
+		} else {
+			t, _ := b.sig(nil)
+			scorers[i] = func(r *Record) int { return MatchScore(r, t) }
+		}
+	}
+	return scorers
+}
+
+// legacyDispatch is the per-record scoring loop the dispatch table
+// replaces; behaviour-identical by construction (see route_test.go).
+func legacyDispatch(scorers []func(*Record) int, rec *Record, det bool, rr *int) int {
+	best, count := -1, 0
+	for _, sc := range scorers {
+		if s := sc(rec); s > best {
+			best, count = s, 1
+		} else if s == best && s >= 0 {
+			count++
+		}
+	}
+	if best < 0 {
+		return -1
+	}
+	pick := 0
+	if !det && count > 1 {
+		pick = *rr % count
+		*rr++
+	}
+	for i, sc := range scorers {
+		if sc(rec) == best {
+			if pick == 0 {
+				return i
+			}
+			pick--
+		}
+	}
+	return -1
+}

@@ -154,12 +154,31 @@ type runEnv struct {
 	// replicaIdle > 0 makes split nodes reap replicas that have received
 	// no record for that long (see WithReplicaIdleReap).
 	replicaIdle time.Duration
+	// legacyRouting disables the precomputed routing tables (see
+	// WithLegacyRouting).
+	legacyRouting bool
+
+	// firstErr records the first runtime error of the run (Handle.Err).
+	errMu    sync.Mutex
+	firstErr error
+}
+
+// err returns the first runtime error reported so far.
+func (e *runEnv) err() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.firstErr
 }
 
 func (e *runEnv) newLevel() int { return int(e.levelSeq.Add(1)) }
 
 func (e *runEnv) error(err error) {
 	e.stats.Add("runtime.errors", 1)
+	e.errMu.Lock()
+	if e.firstErr == nil {
+		e.firstErr = err
+	}
+	e.errMu.Unlock()
 	if e.onError != nil {
 		e.onError(err)
 	}
@@ -218,6 +237,15 @@ func WithStreamBatch(n int) Option {
 			e.batch = n
 		}
 	}
+}
+
+// WithLegacyRouting makes the run's parallel combinators rescore every
+// record against every branch instead of consuming their precomputed
+// shape-keyed dispatch tables.  It exists as the measured baseline of
+// BenchmarkRouting / E16 and as a comparison oracle in tests; there is no
+// reason to set it in production.
+func WithLegacyRouting() Option {
+	return func(e *runEnv) { e.legacyRouting = true }
 }
 
 // WithTracer installs a stream observer.

@@ -15,30 +15,38 @@ type starNode struct {
 	operand Node
 	exit    Pattern
 	depth   int // stage index; the entry dispatcher is depth 0
+	// memo caches the exit pattern's variant check per record shape; every
+	// lazily-unfolded stage of the chain shares the entry dispatcher's memo
+	// (the pattern is the same at every depth).
+	memo *matchMemo
 }
 
 // Star builds the nondeterministic serial replicator, the paper's
 // A ** (pattern): exits merge as soon as they are produced.
 func Star(operand Node, exit Pattern) Node {
-	return &starNode{label: autoName("star"), operand: operand, exit: exit}
+	return &starNode{label: autoName("star"), operand: operand, exit: exit,
+		memo: newMatchMemo(exit.Variant)}
 }
 
 // StarDet builds the deterministic serial replicator A * (pattern): the
 // merged exit stream preserves the causal order of the inputs.
 func StarDet(operand Node, exit Pattern) Node {
-	return &starNode{label: autoName("star"), det: true, operand: operand, exit: exit}
+	return &starNode{label: autoName("star"), det: true, operand: operand, exit: exit,
+		memo: newMatchMemo(exit.Variant)}
 }
 
 // NamedStar is Star with an explicit stats label, so experiments can read
 // "star.<name>.replicas" counters (used to verify the paper's unfolding
 // bounds: ≤ 81 stages for a 9×9 sudoku, Fig. 1).
 func NamedStar(name string, operand Node, exit Pattern) Node {
-	return &starNode{label: name, operand: operand, exit: exit}
+	return &starNode{label: name, operand: operand, exit: exit,
+		memo: newMatchMemo(exit.Variant)}
 }
 
 // NamedStarDet is StarDet with an explicit stats label.
 func NamedStarDet(name string, operand Node, exit Pattern) Node {
-	return &starNode{label: name, det: true, operand: operand, exit: exit}
+	return &starNode{label: name, det: true, operand: operand, exit: exit,
+		memo: newMatchMemo(exit.Variant)}
 }
 
 func (n *starNode) name() string { return n.label }
@@ -85,7 +93,7 @@ func (n *starNode) run(env *runEnv, in *streamReader, out *streamWriter) {
 			continue
 		}
 		rec := it.rec
-		if n.exit.Matches(rec) {
+		if n.memo.matches(n.exit, rec) {
 			env.trace(n.label, "exit", rec)
 			if !f.route(exitPort, rec) || !f.afterRoute() {
 				break
@@ -102,7 +110,7 @@ func (n *starNode) run(env *runEnv, in *streamReader, out *streamWriter) {
 			env.stats.Add("star."+n.label+".replicas", 1)
 			env.stats.SetMax("star."+n.label+".depth", int64(n.depth+1))
 			next := &starNode{label: n.label, det: n.det, operand: n.operand,
-				exit: n.exit, depth: n.depth + 1}
+				exit: n.exit, depth: n.depth + 1, memo: n.memo}
 			chainPort = f.addBranch(&serialNode{label: autoName("serial"), a: n.operand, b: next})
 		}
 		if !f.route(chainPort, rec) || !f.afterRoute() {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strconv"
+	"strings"
 	"unicode"
 )
 
@@ -121,13 +122,44 @@ type token struct {
 }
 
 // SyntaxError reports a parse failure in one of the textual micro-forms.
+// Pos is a byte offset into Input; LineCol converts it to the 1-based
+// line/column pair, which Error uses for multi-line inputs (a bare offset
+// into a multi-line source is useless past the first line).
 type SyntaxError struct {
 	Input string
 	Pos   int
 	Msg   string
 }
 
+// LineCol returns the 1-based line and column of the error offset.
+func (e *SyntaxError) LineCol() (line, col int) {
+	line, col = 1, 1
+	for i := 0; i < e.Pos && i < len(e.Input); i++ {
+		if e.Input[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}
+
+// errorLine returns the line of Input the error offset falls on.
+func (e *SyntaxError) errorLine() string {
+	start := strings.LastIndexByte(e.Input[:min(e.Pos, len(e.Input))], '\n') + 1
+	end := strings.IndexByte(e.Input[start:], '\n')
+	if end < 0 {
+		return e.Input[start:]
+	}
+	return e.Input[start : start+end]
+}
+
 func (e *SyntaxError) Error() string {
+	if strings.ContainsRune(e.Input, '\n') {
+		line, col := e.LineCol()
+		return fmt.Sprintf("core: syntax error at %d:%d in %q: %s", line, col, e.errorLine(), e.Msg)
+	}
 	return fmt.Sprintf("core: syntax error at %d in %q: %s", e.Pos, e.Input, e.Msg)
 }
 

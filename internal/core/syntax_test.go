@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -247,5 +248,33 @@ func TestMustParsePanics(t *testing.T) {
 			}()
 			f()
 		}()
+	}
+}
+
+// Regression: micro-form syntax errors in multi-line sources report
+// line:column instead of a bare byte offset (useless past the first line),
+// quoting only the offending line.
+func TestSyntaxErrorLineCol(t *testing.T) {
+	src := "[{a, b, <c>} ->\n  {a, z=a, <t>};\n  {b, a=q, <c>=<c>+1}]"
+	_, err := ParseFilter(src)
+	if err == nil {
+		t.Fatal("ParseFilter accepted a bad source")
+	}
+	var serr *SyntaxError
+	if !errors.As(err, &serr) {
+		t.Fatalf("err %T is not *SyntaxError", err)
+	}
+	line, col := serr.LineCol()
+	if line != 3 || col != 10 {
+		t.Fatalf("LineCol = %d:%d, want 3:10 (err: %v)", line, col, err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "3:10") || strings.Contains(msg, "\n") {
+		t.Fatalf("rendering = %q, want line:col and no embedded newlines", msg)
+	}
+	// Single-line sources keep the compact offset form.
+	_, err = ParseFilter("{a} -> {q}")
+	if err == nil || !strings.Contains(err.Error(), "at 9 in") {
+		t.Fatalf("single-line rendering changed: %v", err)
 	}
 }

@@ -2,6 +2,7 @@ package lang
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -203,5 +204,107 @@ func TestBuildSync(t *testing.T) {
 	}
 	if _, ok := out[0].Field("b"); !ok {
 		t.Fatal("join lost b")
+	}
+}
+
+// CompileNet maps definite type errors back to .snet source positions.
+func TestCompileNetPositions(t *testing.T) {
+	src := `box produce (n) -> (a,b);
+box eatAB (a,b) -> (r);
+box eatAC (a,c) -> (r);
+
+net main connect
+  produce .. (eatAB || eatAC);
+`
+	reg := NewRegistry().
+		RegisterFunc("produce", incFn(0)).
+		RegisterFunc("eatAB", incFn(0)).
+		RegisterFunc("eatAC", incFn(0))
+	plan, err := CompileNet(MustParse(src), "main", reg)
+	if err == nil {
+		t.Fatal("CompileNet accepted a net with an unreachable branch")
+	}
+	if plan == nil {
+		t.Fatal("CompileNet returned nil plan alongside type errors")
+	}
+	var ce *core.CompileError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err %T is not *core.CompileError", err)
+	}
+	te := ce.Errors[0]
+	if te.Code != core.ErrCodeUnreachable {
+		t.Fatalf("code = %q (err %v)", te.Code, err)
+	}
+	// The unreachable branch is eatAC, declared on line 3.
+	if te.Pos != "3:1" {
+		t.Fatalf("Pos = %q, want 3:1 (err: %v)", te.Pos, te)
+	}
+	if !strings.Contains(te.Error(), "3:1") {
+		t.Fatalf("rendered error lost the position: %v", te)
+	}
+}
+
+// CompileNet on a clean program returns the plan with its topology intact.
+func TestCompileNetClean(t *testing.T) {
+	src := `box inc (<n>) -> (<n>);
+net main connect inc .. inc;
+`
+	reg := NewRegistry().RegisterFunc("inc", incFn(1))
+	plan, err := CompileNet(MustParse(src), "main", reg)
+	if err != nil {
+		t.Fatalf("CompileNet: %v", err)
+	}
+	if plan.Topology().Kind != "serial" {
+		t.Fatalf("topology: %+v", plan.Topology())
+	}
+}
+
+// Reserved labels are rejected by the surface parser with their position.
+func TestParseRejectsReservedLabels(t *testing.T) {
+	cases := []struct{ src, wantPos string }{
+		{"box a (x) -> (y);\nbox b (__snet_x) -> (y);", "2:8"},
+		{"box a (x) -> (<__snet_t>);", "1:15"},
+		{"net n connect [ {x} -> {<__snet_t>=1} ];", "1:25"},
+		{"net n connect a ** {<__snet_done>};", "1:21"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Fatalf("Parse accepted %q", tc.src)
+		}
+		var perr *Error
+		if !errors.As(err, &perr) {
+			t.Fatalf("%q: err %T", tc.src, err)
+		}
+		if !strings.Contains(err.Error(), "reserved") {
+			t.Fatalf("%q: err %v not about reserved labels", tc.src, err)
+		}
+		if got := perr.Pos.String(); got != tc.wantPos {
+			t.Fatalf("%q: pos %s, want %s", tc.src, got, tc.wantPos)
+		}
+	}
+}
+
+// Regression: parse errors in multi-line programs keep exact line/column
+// positions past the first line.
+func TestParseErrorPositionsMultiLine(t *testing.T) {
+	cases := []struct{ src, wantPos string }{
+		{"box a (x) -> (y);\nbox b (y) -> (z);\nnet bad connect a ..;\n", "3:21"},
+		{"/* multi\nline\ncomment */\nnet n connect &;\n", "4:15"},
+		{"box a (x) -> (y);\r\nnet n connect &;\r\n", "2:15"},
+		{"box a (x)\n  -> (y)\n  | (z;\n", "3:7"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Fatalf("Parse accepted %q", tc.src)
+		}
+		var perr *Error
+		if !errors.As(err, &perr) {
+			t.Fatalf("%q: err %T", tc.src, err)
+		}
+		if got := perr.Pos.String(); got != tc.wantPos {
+			t.Fatalf("%q: pos %s, want %s", tc.src, got, tc.wantPos)
+		}
 	}
 }

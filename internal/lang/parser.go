@@ -189,13 +189,24 @@ func (p *parser) parseLabelTuple() ([]core.Label, error) {
 }
 
 func (p *parser) parseLabel() (core.Label, error) {
+	var l core.Label
+	at := p.peek().pos
 	switch p.peek().kind {
 	case tIdent:
-		return core.Field(p.take().text), nil
+		l = core.Field(p.take().text)
 	case tTag:
-		return core.Tag(p.take().text), nil
+		l = core.Tag(p.take().text)
+	default:
+		return core.Label{}, p.errf("expected field or tag label, found %v", p.peek().kind)
 	}
-	return core.Label{}, p.errf("expected field or tag label, found %v", p.peek().kind)
+	// Mirror the core micro-parsers: the runtime's reserved namespace is not
+	// available to surface programs (session multiplexing and the replica
+	// close protocol depend on user code being unable to mention it).
+	if core.IsReservedLabel(l.Name) {
+		return core.Label{}, &Error{Pos: at, Msg: fmt.Sprintf(
+			"label %s lies in the reserved %q namespace", l, core.ReservedTagPrefix)}
+	}
+	return l, nil
 }
 
 // --- network expressions ---
@@ -411,6 +422,12 @@ func (p *parser) parseFilterOutput(pat core.Pattern) ([]core.FilterItem, error) 
 		return items, nil
 	}
 	for {
+		// Output items name labels the filter synthesizes; like parseLabel,
+		// refuse the runtime's reserved namespace.
+		if k := p.peek().kind; (k == tIdent || k == tTag) && core.IsReservedLabel(p.peek().text) {
+			return nil, p.errf("label %q lies in the reserved %q namespace",
+				p.peek().text, core.ReservedTagPrefix)
+		}
 		switch p.peek().kind {
 		case tIdent:
 			name := p.take().text

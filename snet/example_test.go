@@ -2,11 +2,72 @@ package snet_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/snet"
 )
+
+// The compile-then-run quickstart: Compile type-checks the blueprint —
+// structured TypeErrors surface before anything runs — and returns a Plan
+// whose precomputed routing tables every Start shares.
+func ExampleCompile() {
+	inc := snet.NewBox("inc", snet.MustParseSignature("(<n>) -> (<n>)"),
+		func(args []any, out *snet.Emitter) error {
+			return out.Out(1, args[0].(int)+1)
+		})
+	plan, err := snet.Compile(snet.Serial(inc, snet.MustFilter("{<n>} -> {<n>=<n>*2}")))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(plan.In(), "->", plan.Out())
+	h := plan.Start(context.Background())
+	h.Send(snet.NewRecord().SetTag("n", 20))
+	h.Close()
+	for r := range h.Out() {
+		fmt.Println(r)
+	}
+	// Output:
+	// {<n>} -> {<n>}
+	// {<n>=42}
+}
+
+// Compile rejects networks with branches no record can ever reach — a
+// defect that previously surfaced only as a runtime routing failure.
+func ExampleCompile_typeError() {
+	produce := snet.NewBox("produce", snet.MustParseSignature("(n) -> (a,b)"),
+		func(args []any, out *snet.Emitter) error { return out.Out(1, args[0], args[0]) })
+	eatAB := snet.NewBox("eatAB", snet.MustParseSignature("(a,b) -> (r)"),
+		func(args []any, out *snet.Emitter) error { return out.Out(1, args[0]) })
+	eatAC := snet.NewBox("eatAC", snet.MustParseSignature("(a,c) -> (r)"),
+		func(args []any, out *snet.Emitter) error { return out.Out(1, args[0]) })
+
+	_, err := snet.Compile(snet.Serial(produce, snet.Parallel(eatAB, eatAC)))
+	var te *snet.TypeError
+	if errors.As(err, &te) {
+		fmt.Println(te.Code, te.Node)
+	}
+	// Output: unreachable-branch eatAC
+}
+
+// The pre-Plan quickstart keeps working unchanged: Start is a
+// compile-and-run shim (Compile with diagnostics discarded, then
+// Plan.Start).
+func ExampleStart() {
+	inc := snet.NewBox("inc", snet.MustParseSignature("(<n>) -> (<n>)"),
+		func(args []any, out *snet.Emitter) error {
+			return out.Out(1, args[0].(int)+1)
+		})
+	net := snet.Serial(inc, snet.MustFilter("{<n>} -> {<n>=<n>*2}"))
+	h := snet.Start(context.Background(), net)
+	h.Send(snet.NewRecord().SetTag("n", 20))
+	h.Close()
+	for r := range h.Out() {
+		fmt.Println(r)
+	}
+	// Output: {<n>=42}
+}
 
 // The smallest network: one box, one filter, serially composed.
 func Example() {

@@ -12,8 +12,11 @@
 //	reg := lang.NewRegistry().
 //	    RegisterFunc("computeOpts", computeOptsFn).
 //	    RegisterFunc("solveOneLevel", solveFn)
-//	net, err := lang.BuildText(src, "fig1", reg)
-//	h := snet.Start(ctx, net)
+//	plan, err := lang.CompileNet(lang.MustParse(src), "fig1", reg)
+//	h := plan.Start(ctx)
+//
+// CompileNet surfaces the compile phase's structured TypeErrors with .snet
+// source positions; BuildText remains the unchecked build-only path.
 package lang
 
 import (
@@ -33,6 +36,9 @@ type (
 	Error = internal.Error
 	// Pos is a source position.
 	Pos = internal.Pos
+	// Built is a built net plus the node → source-position index used to
+	// map compile diagnostics back to the .snet source.
+	Built = internal.Built
 )
 
 var (
@@ -44,6 +50,12 @@ var (
 	NewRegistry = internal.NewRegistry
 	// Build instantiates a named net against a registry.
 	Build = internal.Build
+	// BuildNet is Build keeping the node → source-position index.
+	BuildNet = internal.BuildNet
 	// BuildText parses and builds in one step.
 	BuildText = internal.BuildText
+	// CompileNet builds a named net and compiles it (snet.Compile),
+	// decorating every TypeError with its .snet source position — the
+	// static-diagnostics path of snetrun -check and snetd startup.
+	CompileNet = internal.CompileNet
 )

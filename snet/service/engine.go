@@ -62,12 +62,14 @@ type engine struct {
 }
 
 // newEngine builds the warm instance for one network and starts its feeder
-// and demux loops.
+// and demux loops.  The engine wraps the network's compiled plan, so shared
+// sessions dispatch through the same routing tables as isolated ones.
 func newEngine(n *Network) (*engine, error) {
-	root, err := n.build(n.opts)
+	plan, err := n.Plan()
 	if err != nil {
 		return nil, err
 	}
+	root := plan.Root()
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &engine{
 		net:        n,

@@ -87,13 +87,20 @@ func (s *Service) handleNetworks(w http.ResponseWriter, r *http.Request) {
 		MaxSessions int    `json:"maxSessions"`
 		Active      int    `json:"activeSessions"`
 		EngineWarm  bool   `json:"engineWarm,omitempty"`
+		// Compile-phase artifacts: the network's inferred type signature,
+		// its typed topology (snet.Plan.Topology), and the number of
+		// definite type errors the compile found (0 for a clean plan).
+		Type       string         `json:"type,omitempty"`
+		Topology   *snet.Topology `json:"topology,omitempty"`
+		TypeErrors int            `json:"typeErrors,omitempty"`
+		BuildError string         `json:"buildError,omitempty"`
 	}
 	var out []netInfo
 	for _, n := range s.Networks() {
 		n.mu.Lock()
 		active := n.active
 		n.mu.Unlock()
-		out = append(out, netInfo{
+		info := netInfo{
 			Name:        n.name,
 			Description: n.descr,
 			SessionMode: n.opts.SessionMode.String(),
@@ -101,7 +108,15 @@ func (s *Service) handleNetworks(w http.ResponseWriter, r *http.Request) {
 			MaxSessions: n.opts.maxSessions(),
 			Active:      active,
 			EngineWarm:  n.liveEngine() != nil,
-		})
+		}
+		if plan, err := n.Plan(); err != nil {
+			info.BuildError = err.Error()
+		} else {
+			info.Type = fmt.Sprintf("%v -> %v", plan.In(), plan.Out())
+			info.Topology = plan.Topology()
+			info.TypeErrors = len(plan.TypeErrors())
+		}
+		out = append(out, info)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"networks": out})
 }

@@ -8,6 +8,8 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+
+	"repro/snet"
 )
 
 func newTestServer(t *testing.T) (*Service, *httptest.Server) {
@@ -341,5 +343,35 @@ func TestHTTPConcurrentClients(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// /api/networks exposes the compile phase: the inferred type signature and
+// the typed topology of each network's plan.
+func TestHTTPNetworksTopology(t *testing.T) {
+	_, ts := newTestServer(t)
+	var resp struct {
+		Networks []struct {
+			Name       string         `json:"name"`
+			Type       string         `json:"type"`
+			Topology   *snet.Topology `json:"topology"`
+			TypeErrors int            `json:"typeErrors"`
+		} `json:"networks"`
+	}
+	if code := call(t, "GET", ts.URL+"/api/networks", nil, &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Networks) != 1 || resp.Networks[0].Name != "inc" {
+		t.Fatalf("networks = %+v", resp.Networks)
+	}
+	n := resp.Networks[0]
+	if n.Type != "{<n>} -> {<n>}" {
+		t.Fatalf("type = %q", n.Type)
+	}
+	if n.Topology == nil || n.Topology.Kind != "box" || n.Topology.Sig != "(<n>) -> (<n>)" {
+		t.Fatalf("topology = %+v", n.Topology)
+	}
+	if n.TypeErrors != 0 {
+		t.Fatalf("typeErrors = %d", n.TypeErrors)
 	}
 }

@@ -212,6 +212,52 @@ type Network struct {
 
 	engMu sync.Mutex
 	eng   *engine // Shared mode: the warm instance, created on first Open
+
+	// The network's compiled plan: built once from the builder, shared by
+	// every session in both modes (nodes are stateless blueprints; the
+	// plan's routing tables are the shared artifact sessions amortize).
+	planMu   sync.Mutex
+	plan     *snet.Plan
+	planErr  error // compile diagnostics of the cached plan (*snet.CompileError or nil)
+	planDone bool
+}
+
+// Plan returns the network's compiled plan, invoking the builder and
+// compiling the blueprint on first use.  A builder failure is returned (and
+// retried on the next call, as Open always did); compile *type errors* do
+// not fail Plan — a network that only ever failed at runtime before keeps
+// serving — but are cached (PlanErr), counted under
+// "net.<name>.compile.type_errors", and exposed over /api/networks.
+func (n *Network) Plan() (*snet.Plan, error) {
+	n.planMu.Lock()
+	defer n.planMu.Unlock()
+	if n.planDone {
+		return n.plan, nil
+	}
+	root, err := n.build(n.opts)
+	if err != nil {
+		return nil, err
+	}
+	plan, cerr := snet.Compile(root)
+	n.plan = plan
+	n.planDone = true
+	if cerr != nil {
+		n.planErr = cerr
+		n.svcStat.Add("compile.type_errors", int64(len(plan.TypeErrors())))
+	}
+	if w := len(plan.Warnings()); w > 0 {
+		n.svcStat.Add("compile.warnings", int64(w))
+	}
+	return plan, nil
+}
+
+// PlanErr returns the compile diagnostics of the cached plan: nil when the
+// network compiled cleanly (or has not been compiled yet), a
+// *snet.CompileError otherwise.
+func (n *Network) PlanErr() error {
+	n.planMu.Lock()
+	defer n.planMu.Unlock()
+	return n.planErr
 }
 
 // sharedEngine returns the network's warm engine, starting it on first use

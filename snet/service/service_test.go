@@ -491,3 +491,82 @@ func TestReleaseIdempotent(t *testing.T) {
 		t.Fatalf("closed counter after double release: %d", got)
 	}
 }
+
+// Every session of a network shares one compiled plan: the builder runs
+// once, and the plan (with its routing tables) is reused in Isolated mode.
+func TestSessionsShareCompiledPlan(t *testing.T) {
+	svc := New()
+	defer svc.Shutdown()
+	var builds atomic.Int32
+	svc.Register("shared-plan", "", Options{}, func(o Options) (snet.Node, error) {
+		builds.Add(1)
+		return incNet(o)
+	}, nil)
+
+	for i := 0; i < 5; i++ {
+		s, err := svc.Open("shared-plan")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Send(context.Background(), recN(i)); err != nil {
+			t.Fatal(err)
+		}
+		s.CloseInput()
+		rec, _, err := s.Recv(context.Background())
+		if err != nil || rec.MustTag("n") != i+1 {
+			t.Fatalf("rec=%v err=%v", rec, err)
+		}
+		s.Release()
+	}
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("builder ran %d times, want 1 (plan cached)", got)
+	}
+	n, _ := svc.Network("shared-plan")
+	plan, err := n.Plan()
+	if err != nil || plan == nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if n.PlanErr() != nil {
+		t.Fatalf("PlanErr: %v", n.PlanErr())
+	}
+}
+
+// A network whose compile finds type errors still serves (legacy nets only
+// ever failed at runtime), with the findings counted and retrievable.
+func TestTypeErroredNetworkStillServes(t *testing.T) {
+	svc := New()
+	defer svc.Shutdown()
+	svc.Register("dead-branch", "", Options{}, func(Options) (snet.Node, error) {
+		mk := func(name, sig string) snet.Node {
+			return snet.NewBox(name, snet.MustParseSignature(sig),
+				func(args []any, out *snet.Emitter) error { return out.Out(1, args...) })
+		}
+		return snet.Serial(mk("p", "(n) -> (n)"),
+			snet.Parallel(mk("q", "(n) -> (n)"), mk("r", "(m) -> (m)"))), nil
+	}, nil)
+
+	s, err := svc.Open("dead-branch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Send(context.Background(), snet.NewRecord().SetField("n", 1)); err != nil {
+		t.Fatal(err)
+	}
+	s.CloseInput()
+	if rec, _, err := s.Recv(context.Background()); err != nil || rec == nil {
+		t.Fatalf("rec=%v err=%v", rec, err)
+	}
+	s.Release()
+
+	n, _ := svc.Network("dead-branch")
+	var ce *snet.CompileError
+	if !errors.As(n.PlanErr(), &ce) {
+		t.Fatalf("PlanErr = %v, want *snet.CompileError", n.PlanErr())
+	}
+	if ce.Errors[0].Code != snet.ErrCodeUnreachable {
+		t.Fatalf("code = %q", ce.Errors[0].Code)
+	}
+	if got := n.svcStat.Counter("compile.type_errors"); got == 0 {
+		t.Fatal("compile.type_errors not counted")
+	}
+}

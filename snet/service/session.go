@@ -164,14 +164,17 @@ func (s *Service) Open(netName string) (*Session, error) {
 		}
 		back = sb
 	} else {
-		root, err := n.build(n.opts)
+		// Sessions share the network's compiled plan: the blueprint is built
+		// and type-checked once, and every instance dispatches through the
+		// same precomputed routing tables.
+		plan, err := n.Plan()
 		if err != nil {
 			n.releaseSlot()
 			n.svcStat.Add("sessions.build_errors", 1)
 			return nil, fmt.Errorf("%w: network %q: %v", ErrBuild, netName, err)
 		}
 		ctx, cancel := context.WithCancel(context.Background())
-		back = &isolatedBackend{h: snet.Start(ctx, root, n.opts.runOptions()...), cancel: cancel}
+		back = &isolatedBackend{h: plan.Start(ctx, n.opts.runOptions()...), cancel: cancel}
 	}
 	sess := &Session{
 		id:     id,

@@ -14,17 +14,29 @@
 //
 // plus housekeeping Filters, Synchrocells and transparent Observe taps.
 //
-// Quickstart:
+// The API is compile-then-run.  A Node tree is an immutable blueprint;
+// Compile type-checks it (bottom-up inference with record subtyping and
+// flow inheritance, §3–4 of the paper), precomputes the routing tables the
+// hot path dispatches through, and returns a Plan; Plan.Start instantiates
+// runs from the checked blueprint.  Quickstart:
 //
 //	inc := snet.NewBox("inc", snet.MustParseSignature("(<n>) -> (<n>)"),
 //	    func(args []any, out *snet.Emitter) error {
 //	        return out.Out(1, args[0].(int)+1)
 //	    })
-//	net := snet.Serial(inc, snet.MustFilter("{<n>} -> {<n>=<n>*2}"))
-//	h := snet.Start(context.Background(), net)
+//	plan, err := snet.Compile(snet.Serial(inc, snet.MustFilter("{<n>} -> {<n>=<n>*2}")))
+//	if err != nil { ... }            // structured *TypeErrors, before anything runs
+//	h := plan.Start(context.Background())
 //	h.Send(snet.NewRecord().SetTag("n", 20))
 //	h.Close()
 //	for r := range h.Out() { fmt.Println(r) } // {<n>=42}
+//
+// Compile rejects — with node paths — defects that previously surfaced only
+// mid-stream: unreachable Parallel branches, record shapes no branch
+// accepts, box signature mismatches, records reaching a Split without its
+// index tag, reserved-label violations.  Plan.Topology exports the typed
+// graph as JSON.  The pre-Plan entry points remain as shims: Start(ctx,
+// node) is Compile with diagnostics discarded followed by Plan.Start.
 //
 // See snet/lang for the textual network language of the paper.
 package snet
@@ -77,6 +89,43 @@ type (
 	Option = core.Option
 	// Diagnostic is a network type-check finding.
 	Diagnostic = core.Diagnostic
+)
+
+// Compile phase (the typed Plan API).
+type (
+	// Plan is a compiled network: the checked blueprint plus its
+	// precomputed routing tables and serializable topology.  Start it any
+	// number of times; all runs share the tables.
+	Plan = core.Plan
+	// CompileOption configures Compile.
+	CompileOption = core.CompileOption
+	// TypeError is one definite compile finding, located by node path.
+	TypeError = core.TypeError
+	// CompileError aggregates a Compile call's TypeErrors.
+	CompileError = core.CompileError
+	// NoRouteError is the runtime form of a routing failure: a record whose
+	// type matches no Parallel branch.  It unwraps to ErrNoRoute.
+	NoRouteError = core.NoRouteError
+	// Topology is the serializable typed graph of a compiled network.
+	Topology = core.Topology
+)
+
+// Compile type-checks a network and returns its Plan; MustCompile panics on
+// type errors.  WithInputType declares the network's input type instead of
+// inferring it bottom-up.  The TypeError codes are the ErrCode constants.
+var (
+	Compile       = core.Compile
+	MustCompile   = core.MustCompile
+	WithInputType = core.WithInputType
+)
+
+// TypeError codes.
+const (
+	ErrCodeUnreachable = core.ErrCodeUnreachable
+	ErrCodeNoRoute     = core.ErrCodeNoRoute
+	ErrCodeBoxReject   = core.ErrCodeBoxReject
+	ErrCodeMissingTag  = core.ErrCodeMissingTag
+	ErrCodeReserved    = core.ErrCodeReserved
 )
 
 // Record and label constructors.
@@ -185,7 +234,17 @@ var (
 var ErrCancelled = core.ErrCancelled
 var ErrClosed = core.ErrClosed
 
+// ErrNoRoute is the sentinel under every *NoRouteError — check it with
+// errors.Is on WithErrorHandler callbacks or Handle.Err.
+var ErrNoRoute = core.ErrNoRoute
+
 // Start launches a network; see Handle for the stream API.
+//
+// Start is the legacy compile-and-run shim: it behaves exactly like
+// Compile(root) with diagnostics discarded followed by Plan.Start (the
+// routing tables are shared node artifacts either way).  New code should
+// Compile once and hold the Plan — it surfaces type errors before anything
+// runs and exposes the typed topology.
 func Start(ctx context.Context, root Node, opts ...Option) *Handle {
 	return core.Start(ctx, root, opts...)
 }
