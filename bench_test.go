@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/workloads"
 	"repro/sac"
 	saclang "repro/sac/lang"
 	"repro/snet"
@@ -402,6 +403,63 @@ func BenchmarkE10InterpretedBoxes(b *testing.B) {
 			board, _, err := boxes.SolveHybrid(context.Background(), puzzle)
 			if err != nil || board == nil {
 				b.Fatalf("hybrid failed: %v", err)
+			}
+		}
+	})
+}
+
+// BenchmarkE17Wavefront — the wavefront workload (internal/workloads): an
+// n×n dependency grid of synchrocell joins unfolded from one {start}
+// record, verified against the sequential DP reference each iteration.
+func BenchmarkE17Wavefront(b *testing.B) {
+	for _, n := range []int{8, 16} {
+		seed := int64(61)
+		plan := snet.MustCompile(workloads.WavefrontNet(n, seed))
+		want := workloads.WavefrontReference(n, seed)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, _, err := plan.RunAll(context.Background(),
+					[]*snet.Record{workloads.WavefrontSeed()})
+				if err != nil || len(out) != 1 || out[0].MustField("result").(int) != want {
+					b.Fatalf("wavefront n=%d: %v", n, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE18DivConq — the divide-and-conquer workload: mergesort as star
+// unfolding over per-pair split replicas, verified against sort.Ints.
+func BenchmarkE18DivConq(b *testing.B) {
+	const jobs, n, leaf = 2, 512, 32
+	seed := int64(23)
+	plan := snet.MustCompile(workloads.DivConqNet(n, leaf))
+	in := workloads.DivConqJobs(jobs, n, seed)
+	b.Run(fmt.Sprintf("jobs=%d_n=%d", jobs, n), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, _, err := plan.RunAll(context.Background(), in,
+				snet.WithMaxSplitWidth(workloads.DivConqSplitWidth(jobs, n, leaf)))
+			if err != nil || len(out) != jobs {
+				b.Fatalf("divconq: %d records err=%v", len(out), err)
+			}
+		}
+	})
+}
+
+// BenchmarkE19WebPipe — the request/response pipeline driven in-process
+// (the HTTP harness lives in cmd/experiments -only E19).
+func BenchmarkE19WebPipe(b *testing.B) {
+	plan := snet.MustCompile(workloads.WebPipeNet())
+	const reqs = 64
+	in := make([]*snet.Record, reqs)
+	for i := range in {
+		in[i] = workloads.WebPipeRequest(i)
+	}
+	b.Run(fmt.Sprintf("requests=%d", reqs), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, _, err := plan.RunAll(context.Background(), in)
+			if err != nil || len(out) != reqs {
+				b.Fatalf("webpipe: %d records err=%v", len(out), err)
 			}
 		}
 	})

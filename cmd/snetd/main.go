@@ -91,6 +91,7 @@ func newService(cfg config) (*service.Service, error) {
 		Pool:        cfg.pool(),
 	}
 	registerSudokuNets(svc, opts, cfg)
+	registerWorkloadNets(svc, opts)
 	if cfg.snetFile != "" {
 		if err := registerLangNets(svc, opts, cfg.snetFile); err != nil {
 			return nil, err

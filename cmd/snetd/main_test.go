@@ -251,7 +251,7 @@ func TestNewServiceRegistersNetworks(t *testing.T) {
 	for _, n := range svc.Networks() {
 		names = append(names, n.Name())
 	}
-	want := []string{"fig1", "fig2", "fig3"}
+	want := []string{"fig1", "fig2", "fig3", "wavefront", "webpipe"}
 	if len(names) != len(want) {
 		t.Fatalf("networks: %v", names)
 	}

@@ -5,6 +5,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/workloads"
 	"repro/snet"
 	"repro/snet/lang"
 	"repro/snet/service"
@@ -84,6 +85,25 @@ func registerSudokuNets(svc *service.Service, opts service.Options, cfg config) 
 	svc.Register("fig3",
 		fmt.Sprintf("Fig. 3: throttled unfolding (m=%d, exit level %d, terminal solve)", cfg.throttle, cfg.level),
 		opts, mk(sudoku.Fig3Net), boardCodec{})
+}
+
+// registerWorkloadNets registers the benchmark-suite networks that work
+// over the generic wire codec: the webpipe request/response pipeline (the
+// E19 workload — string fields throughout) and the wavefront grid (driven
+// by a single {start} record whose field value the boxes never read).  The
+// divide-and-conquer workload stays example-only: its segments are []int
+// fields with no wire form.
+func registerWorkloadNets(svc *service.Service, opts service.Options) {
+	svc.Register("webpipe",
+		"request/response workload: classify .. (api || page || asset) .. render (E19)",
+		opts, func(service.Options) (snet.Node, error) {
+			return workloads.WebPipeNet(), nil
+		}, nil)
+	svc.Register("wavefront",
+		"wavefront workload: 64×64 dependency grid of synchrocell joins (E17)",
+		opts, func(service.Options) (snet.Node, error) {
+			return workloads.WavefrontNet(64, 61), nil
+		}, nil)
 }
 
 // demoRegistry binds the same built-in demonstration boxes as cmd/snetrun.

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/workloads"
+	"repro/snet/service"
+)
+
+// TestWorkloadNetsOverHTTP drives the two wire-capable workload networks
+// end-to-end through the HTTP surface: webpipe requests against the
+// reference, and the 64×64 wavefront grid unfolded from a single {start}
+// record.
+func TestWorkloadNetsOverHTTP(t *testing.T) {
+	svc, err := newService(config{workers: 1, throttle: 4, level: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Shutdown()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	t.Run("webpipe", func(t *testing.T) {
+		for i := 0; i < 6; i++ {
+			url := workloads.WebPipeURL(i)
+			var out struct {
+				Records []service.RecordJSON `json:"records"`
+				Done    bool                 `json:"done"`
+			}
+			req := map[string]any{
+				"net": "webpipe",
+				"records": []service.RecordJSON{{
+					Tags:   map[string]int{"id": i},
+					Fields: map[string]string{"url": url},
+				}},
+			}
+			if err := postJSON(srv.URL+"/api/run", req, &out); err != nil {
+				t.Fatalf("request %d: %v", i, err)
+			}
+			if !out.Done || len(out.Records) != 1 {
+				t.Fatalf("request %d: done=%v records=%d", i, out.Done, len(out.Records))
+			}
+			wantResp, wantStatus := workloads.WebPipeReference(url)
+			rec := out.Records[0]
+			if rec.Fields["resp"] != wantResp || rec.Tags["status"] != wantStatus {
+				t.Fatalf("request %d (%s): got %+v, want resp=%q status=%d",
+					i, url, rec, wantResp, wantStatus)
+			}
+		}
+	})
+
+	t.Run("wavefront", func(t *testing.T) {
+		if os.Getenv("CI") == "" && testing.Short() {
+			t.Skip("short mode")
+		}
+		var out struct {
+			Records []service.RecordJSON `json:"records"`
+			Done    bool                 `json:"done"`
+		}
+		req := map[string]any{
+			"net":     "wavefront",
+			"records": []service.RecordJSON{{Fields: map[string]string{"start": "1"}}},
+			"wait":    "60s",
+		}
+		if err := postJSON(srv.URL+"/api/run", req, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !out.Done || len(out.Records) != 1 {
+			t.Fatalf("done=%v records=%d", out.Done, len(out.Records))
+		}
+		want := workloads.WavefrontReference(64, 61)
+		if got := out.Records[0].Fields["result"]; got != strconv.Itoa(want) {
+			t.Fatalf("result = %q, want %d", got, want)
+		}
+	})
+}

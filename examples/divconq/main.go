@@ -1,0 +1,71 @@
+// The divide-and-conquer workload run from its textual form: the .snet
+// program is parsed and type-checked, the registry binds the divide/conquer
+// boxes from internal/workloads, and every job's output is verified against
+// sort.Ints.
+package main
+
+import (
+	"context"
+	_ "embed"
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/workloads"
+	"repro/snet"
+	"repro/snet/lang"
+)
+
+//go:embed mergesort.snet
+var src string
+
+func main() {
+	jobs := flag.Int("jobs", 4, "concurrent sort jobs")
+	n := flag.Int("n", 4096, "elements per job (power of two)")
+	leaf := flag.Int("leaf", 64, "leaf segment size (power of two)")
+	seed := flag.Int64("seed", 23, "input data seed")
+	flag.Parse()
+
+	reg := lang.NewRegistry()
+	for name, box := range workloads.DivConqBoxes(*n, *leaf) {
+		reg.RegisterNode(name, box)
+	}
+	prog, err := lang.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := lang.CompileNet(prog, "mergesort", reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mergesort: %d jobs × %d elements, leaf %d, input type %v\n",
+		*jobs, *n, *leaf, plan.In())
+
+	// The composite <p> key space exceeds the default split-width fold;
+	// folding must never collapse two live joins onto one replica.
+	out, stats, err := plan.RunAll(context.Background(),
+		workloads.DivConqJobs(*jobs, *n, *seed),
+		snet.WithMaxSplitWidth(workloads.DivConqSplitWidth(*jobs, *n, *leaf)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(out) != *jobs {
+		log.Fatalf("expected %d output records, got %d", *jobs, len(out))
+	}
+	for _, rec := range out {
+		job := rec.MustTag("job")
+		got := rec.MustField("out").([]int)
+		want := workloads.DivConqReference(workloads.DivConqInput(*n, *seed, job))
+		for i := range got {
+			if got[i] != want[i] {
+				log.Fatalf("job %d diverged from sort.Ints at element %d", job, i)
+			}
+		}
+	}
+	fmt.Printf("all %d jobs sorted correctly (%d elements total)\n",
+		*jobs, workloads.DivConqElements(*jobs, *n))
+	fmt.Printf("star stages: %d, merges: %d, divide calls: %d\n",
+		stats.Counter("star.mergesort.star.replicas"),
+		stats.SumPrefix("sync."),
+		stats.Counter("box.divide.calls"))
+}

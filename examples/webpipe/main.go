@@ -1,0 +1,65 @@
+// The request/response workload run from its textual form: the .snet
+// program is parsed and type-checked, the registry binds the pipeline boxes
+// from internal/workloads, and every response is verified against the
+// reference.
+package main
+
+import (
+	"context"
+	_ "embed"
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/workloads"
+	"repro/snet"
+	"repro/snet/lang"
+)
+
+//go:embed webpipe.snet
+var src string
+
+func main() {
+	requests := flag.Int("requests", 60, "requests to push through the pipeline")
+	flag.Parse()
+
+	reg := lang.NewRegistry()
+	for name, box := range workloads.WebPipeBoxes() {
+		reg.RegisterNode(name, box)
+	}
+	prog, err := lang.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := lang.CompileNet(prog, "webpipe", reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("webpipe: input type %v\n", plan.In())
+
+	in := make([]*snet.Record, *requests)
+	for i := range in {
+		in[i] = workloads.WebPipeRequest(i)
+	}
+	out, stats, err := plan.RunAll(context.Background(), in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(out) != *requests {
+		log.Fatalf("expected %d responses, got %d", *requests, len(out))
+	}
+	byStatus := map[int]int{}
+	for _, rec := range out {
+		id := rec.MustTag("id")
+		wantResp, wantStatus := workloads.WebPipeReference(workloads.WebPipeURL(id))
+		if rec.MustField("resp").(string) != wantResp || rec.MustTag("status") != wantStatus {
+			log.Fatalf("request %d diverged from reference", id)
+		}
+		byStatus[rec.MustTag("status")]++
+	}
+	fmt.Printf("all %d responses match the reference; status mix: %v\n", *requests, byStatus)
+	fmt.Printf("handler calls: api=%d page=%d asset=%d\n",
+		stats.Counter("box.api.calls"),
+		stats.Counter("box.page.calls"),
+		stats.Counter("box.asset.calls"))
+}

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"time"
+)
+
+// BenchSchemaVersion is the current BENCH_*.json schema.  PR-to-PR
+// trajectory diffs key on it: bump it only with a migration note in
+// EXPERIMENTS.md.
+const BenchSchemaVersion = 1
+
+// Result is one machine-readable benchmark data point: an experiment, the
+// parameter combination it ran under, and the throughput/latency triple the
+// trajectory tracks across PRs.
+type Result struct {
+	Experiment    string         `json:"experiment"`
+	Params        map[string]any `json:"params"`
+	RecordsPerSec float64        `json:"records_per_sec"`
+	P50Ms         float64        `json:"p50_ms"`
+	P99Ms         float64        `json:"p99_ms"`
+}
+
+// BenchFile is the persisted form (BENCH_6.json and successors).
+type BenchFile struct {
+	Schema  int      `json:"schema"`
+	Results []Result `json:"results"`
+}
+
+// resultKey identifies a data point for merging: experiment plus the
+// canonical (sorted-key JSON) form of its params.  Params go through a JSON
+// round-trip first so int and float64 spellings of the same value collide.
+func resultKey(r Result) string {
+	norm, err := json.Marshal(r.Params)
+	if err != nil {
+		return r.Experiment + "?"
+	}
+	var back map[string]any
+	_ = json.Unmarshal(norm, &back)
+	keys := make([]string, 0, len(back))
+	for k := range back {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	key := r.Experiment + "|"
+	for _, k := range keys {
+		key += fmt.Sprintf("%s=%v;", k, back[k])
+	}
+	return key
+}
+
+var experimentIDPat = regexp.MustCompile(`^E\d+$`)
+
+// Validate checks one data point against the schema contract.
+func (r Result) Validate() error {
+	if !experimentIDPat.MatchString(r.Experiment) {
+		return fmt.Errorf("bench: experiment %q does not match E<number>", r.Experiment)
+	}
+	if len(r.Params) == 0 {
+		return fmt.Errorf("bench: %s result has no params", r.Experiment)
+	}
+	if r.RecordsPerSec <= 0 {
+		return fmt.Errorf("bench: %s records_per_sec = %v, want > 0", r.Experiment, r.RecordsPerSec)
+	}
+	if r.P50Ms < 0 || r.P99Ms < r.P50Ms {
+		return fmt.Errorf("bench: %s latency p50=%v p99=%v, want 0 <= p50 <= p99",
+			r.Experiment, r.P50Ms, r.P99Ms)
+	}
+	return nil
+}
+
+// ValidateBenchData checks a serialized bench file: schema version, and
+// every result well-formed with no duplicate (experiment, params) keys.
+func ValidateBenchData(data []byte) (*BenchFile, error) {
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("bench: bad JSON: %w", err)
+	}
+	if f.Schema != BenchSchemaVersion {
+		return nil, fmt.Errorf("bench: schema %d, want %d", f.Schema, BenchSchemaVersion)
+	}
+	if len(f.Results) == 0 {
+		return nil, fmt.Errorf("bench: file has no results")
+	}
+	seen := map[string]bool{}
+	for _, r := range f.Results {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+		k := resultKey(r)
+		if seen[k] {
+			return nil, fmt.Errorf("bench: duplicate result %s", k)
+		}
+		seen[k] = true
+	}
+	return &f, nil
+}
+
+// LoadBenchFile reads and validates a bench file.
+func LoadBenchFile(path string) (*BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ValidateBenchData(data)
+}
+
+// MergeBenchFile folds new results into the bench file at path: data points
+// with the same (experiment, params) key are replaced, everything else is
+// kept, and the result set is sorted for stable diffs.  A missing or
+// unreadable file starts fresh.
+func MergeBenchFile(path string, results []Result) error {
+	merged := map[string]Result{}
+	var order []string
+	if old, err := LoadBenchFile(path); err == nil {
+		for _, r := range old.Results {
+			k := resultKey(r)
+			merged[k] = r
+			order = append(order, k)
+		}
+	}
+	for _, r := range results {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		k := resultKey(r)
+		if _, ok := merged[k]; !ok {
+			order = append(order, k)
+		}
+		merged[k] = r
+	}
+	sort.Strings(order)
+	f := BenchFile{Schema: BenchSchemaVersion}
+	for _, k := range order {
+		f.Results = append(f.Results, merged[k])
+	}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Percentile returns the p-th percentile (0..100) of the timing's samples
+// by nearest-rank on the sorted sample set.
+func (t Timing) Percentile(p float64) time.Duration {
+	return PercentileDur(t.Samples, p)
+}
+
+// PercentileDur is the nearest-rank percentile of a duration sample set.
+func PercentileDur(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := int(float64(len(s))*p/100.0+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+// ms renders a duration as fractional milliseconds for Result fields.
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000.0 }

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func validResult() Result {
+	return Result{
+		Experiment:    "E17",
+		Params:        map[string]any{"n": 16, "workers": 1},
+		RecordsPerSec: 1000,
+		P50Ms:         1.5,
+		P99Ms:         2.5,
+	}
+}
+
+func TestResultValidate(t *testing.T) {
+	if err := validResult().Validate(); err != nil {
+		t.Fatalf("valid result rejected: %v", err)
+	}
+	bad := []func(*Result){
+		func(r *Result) { r.Experiment = "X17" },
+		func(r *Result) { r.Experiment = "E" },
+		func(r *Result) { r.Params = nil },
+		func(r *Result) { r.RecordsPerSec = 0 },
+		func(r *Result) { r.RecordsPerSec = -1 },
+		func(r *Result) { r.P50Ms = -0.1 },
+		func(r *Result) { r.P99Ms = r.P50Ms - 1 },
+	}
+	for i, mutate := range bad {
+		r := validResult()
+		mutate(&r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("mutation %d accepted: %+v", i, r)
+		}
+	}
+}
+
+func TestValidateBenchData(t *testing.T) {
+	if _, err := ValidateBenchData([]byte(`{`)); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := ValidateBenchData([]byte(`{"schema":2,"results":[]}`)); err == nil {
+		t.Error("wrong schema version accepted")
+	}
+	if _, err := ValidateBenchData([]byte(`{"schema":1,"results":[]}`)); err == nil {
+		t.Error("empty result set accepted")
+	}
+	ok := `{"schema":1,"results":[
+	  {"experiment":"E17","params":{"n":16},"records_per_sec":10,"p50_ms":1,"p99_ms":2}]}`
+	if _, err := ValidateBenchData([]byte(ok)); err != nil {
+		t.Errorf("valid file rejected: %v", err)
+	}
+	dup := `{"schema":1,"results":[
+	  {"experiment":"E17","params":{"n":16},"records_per_sec":10,"p50_ms":1,"p99_ms":2},
+	  {"experiment":"E17","params":{"n":16},"records_per_sec":99,"p50_ms":1,"p99_ms":2}]}`
+	if _, err := ValidateBenchData([]byte(dup)); err == nil {
+		t.Error("duplicate (experiment, params) key accepted")
+	}
+}
+
+// TestMergeBenchFile: same-key data points are replaced, others kept, and
+// int/float64 spellings of the same params collide onto one key.
+func TestMergeBenchFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	first := validResult()
+	if err := MergeBenchFile(path, []Result{first}); err != nil {
+		t.Fatal(err)
+	}
+	second := validResult()
+	second.Params = map[string]any{"n": float64(16), "workers": float64(1)} // post-JSON spelling
+	second.RecordsPerSec = 2000
+	other := validResult()
+	other.Experiment = "E18"
+	if err := MergeBenchFile(path, []Result{second, other}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := LoadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Results) != 2 {
+		t.Fatalf("got %d results, want 2 (replace + add): %+v", len(f.Results), f.Results)
+	}
+	for _, r := range f.Results {
+		if r.Experiment == "E17" && r.RecordsPerSec != 2000 {
+			t.Errorf("E17 data point not replaced: %+v", r)
+		}
+	}
+}
+
+// TestCommittedBenchFile validates the BENCH_6.json committed at the repo
+// root — the schema contract PR 7+ diffs the performance trajectory
+// against — and checks it carries all three workload experiments.
+func TestCommittedBenchFile(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_6.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("committed bench file missing: %v (regenerate with `go run ./cmd/experiments -only E17` etc.)", err)
+	}
+	f, err := LoadBenchFile(path)
+	if err != nil {
+		t.Fatalf("BENCH_6.json fails schema validation: %v", err)
+	}
+	byExp := map[string]int{}
+	for _, r := range f.Results {
+		byExp[r.Experiment]++
+	}
+	for _, exp := range []string{"E17", "E18", "E19"} {
+		if byExp[exp] == 0 {
+			t.Errorf("BENCH_6.json has no %s data points (have %v)", exp, byExp)
+		}
+	}
+}
+
+func TestPercentileDur(t *testing.T) {
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(100-i) * time.Millisecond // unsorted descending
+	}
+	if got := PercentileDur(samples, 50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", got)
+	}
+	if got := PercentileDur(samples, 99); got != 99*time.Millisecond {
+		t.Errorf("p99 = %v, want 99ms", got)
+	}
+	if got := PercentileDur(samples, 100); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v, want 100ms", got)
+	}
+	if got := PercentileDur(nil, 50); got != 0 {
+		t.Errorf("empty p50 = %v, want 0", got)
+	}
+	if got := PercentileDur(samples[:1], 99); got != 100*time.Millisecond {
+		t.Errorf("single-sample p99 = %v, want the sample", got)
+	}
+}

@@ -1,0 +1,283 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"repro/internal/workloads"
+	"repro/snet"
+	"repro/snet/service"
+)
+
+// Smoke shrinks the workload-suite experiments (E17–E19) to CI-smoke sizes:
+// small grids, short recursions, dozens instead of a thousand HTTP clients.
+// The sweep structure and the BENCH result schema are unchanged, so a smoke
+// run still exercises every code path the full run does.
+var Smoke = false
+
+// E17Wavefront benchmarks the wavefront workload: an N×N dependency grid
+// whose interior cells are synchrocell joins inside tag-indexed replication,
+// advanced one anti-diagonal per star stage.  Scales grid size N and box
+// workers W; every run is checked against the sequential reference.
+func E17Wavefront() (*Table, []Result) {
+	t := &Table{
+		ID:    "E17",
+		Title: "Wavefront — N×N dependency grid of synchrocell joins (Cholesky/Smith-Waterman shape)",
+		Claim: "synchrocells plus indexed replication express dependency grids — the wavefront workload of the S-Net vs CnC comparison (arXiv:1305.7167) — without the coordination layer touching the data",
+		Header: []string{"n", "cells", "W", "median", "cells/s", "p99",
+			"sync fired", "star stages"},
+	}
+	var results []Result
+	sizes := []int{16, 32, 64}
+	if Smoke {
+		sizes = []int{12}
+	}
+	const seed = int64(61)
+	for _, n := range sizes {
+		for _, w := range []int{1, 4} {
+			plan := snet.MustCompile(workloads.WavefrontNet(n, seed))
+			want := workloads.WavefrontReference(n, seed)
+			var stats *snet.Stats
+			tm := Measure(Reps, func() {
+				out, st, err := plan.RunAll(context.Background(),
+					[]*snet.Record{workloads.WavefrontSeed()},
+					runOpts(snet.WithBoxWorkers(w))...)
+				if err != nil {
+					panic(fmt.Errorf("E17: %w", err))
+				}
+				if len(out) != 1 || out[0].MustField("result").(int) != want {
+					panic(fmt.Errorf("E17: n=%d result diverged from reference", n))
+				}
+				stats = st
+			})
+			med := tm.Median()
+			cells := workloads.WavefrontCells(n)
+			m := stats.Snapshot()
+			t.AddRow(n, cells, w, med,
+				fmt.Sprintf("%.0f", float64(cells)/med.Seconds()),
+				tm.Percentile(99),
+				m["sync.wave_join.fired"], 2*n-1)
+			results = append(results, Result{
+				Experiment:    "E17",
+				Params:        map[string]any{"n": n, "workers": w},
+				RecordsPerSec: float64(cells) / med.Seconds(),
+				P50Ms:         ms(tm.Percentile(50)),
+				P99Ms:         ms(tm.Percentile(99)),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"One {start} record unfolds the whole grid: edge boxes chain the boundary, interior cells are [| {up,...}, {left,...} |] .. cell replicas split by <cell>, and the star advances one anti-diagonal per stage (2N-1 stages).  \"cells/s\" counts computed cell values; every run is checked against the sequential DP reference.")
+	return t, results
+}
+
+// E18DivConq benchmarks the divide-and-conquer workload: mergesort as a
+// star-unfolded split-solve-combine tree, sibling halves joined in
+// per-pair split replicas — split replica churn and the in-band close
+// protocol under deep recursion.
+func E18DivConq() (*Table, []Result) {
+	t := &Table{
+		ID:    "E18",
+		Title: "Divide-and-conquer — recursive mergesort via star unfolding and per-pair split replicas",
+		Claim: "serial replication unfolds recursive decomposition on demand (A ** p, §4) while indexed replication isolates each combine step; replica close keeps the churn bounded (the recursive workload class of arXiv:1305.7167)",
+		Header: []string{"jobs", "n", "leaf", "W", "median", "elems/s", "p99",
+			"merges", "pair replicas", "max width"},
+	}
+	var results []Result
+	type cfg struct{ jobs, n, leaf int }
+	cfgs := []cfg{{4, 4096, 64}, {16, 4096, 64}, {4, 16384, 128}}
+	if Smoke {
+		cfgs = []cfg{{2, 512, 32}}
+	}
+	const seed = int64(23)
+	for _, c := range cfgs {
+		for _, w := range []int{1, 4} {
+			plan := snet.MustCompile(workloads.DivConqNet(c.n, c.leaf))
+			jobsIn := workloads.DivConqJobs(c.jobs, c.n, seed)
+			want := make(map[int][]int, c.jobs)
+			for j := 0; j < c.jobs; j++ {
+				want[j] = workloads.DivConqReference(workloads.DivConqInput(c.n, seed, j))
+			}
+			var stats *snet.Stats
+			tm := Measure(Reps, func() {
+				out, st, err := plan.RunAll(context.Background(), jobsIn,
+					runOpts(snet.WithBoxWorkers(w),
+						snet.WithMaxSplitWidth(workloads.DivConqSplitWidth(c.jobs, c.n, c.leaf)))...)
+				if err != nil {
+					panic(fmt.Errorf("E18: %w", err))
+				}
+				if len(out) != c.jobs {
+					panic(fmt.Errorf("E18: %d outputs, want %d", len(out), c.jobs))
+				}
+				for _, rec := range out {
+					got := rec.MustField("out").([]int)
+					ref := want[rec.MustTag("job")]
+					for i := range got {
+						if got[i] != ref[i] {
+							panic(fmt.Errorf("E18: job %d diverged from reference", rec.MustTag("job")))
+						}
+					}
+				}
+				stats = st
+			})
+			med := tm.Median()
+			elems := workloads.DivConqElements(c.jobs, c.n)
+			m := stats.Snapshot()
+			t.AddRow(c.jobs, c.n, c.leaf, w, med,
+				fmt.Sprintf("%.0f", float64(elems)/med.Seconds()),
+				tm.Percentile(99),
+				m["sync.dc_join.fired"], m["split.dc_pairs.replicas"],
+				m["split.dc_pairs.width.max"])
+			results = append(results, Result{
+				Experiment:    "E18",
+				Params:        map[string]any{"jobs": c.jobs, "n": c.n, "leaf": c.leaf, "workers": w},
+				RecordsPerSec: float64(elems) / med.Seconds(),
+				P50Ms:         ms(tm.Percentile(50)),
+				P99Ms:         ms(tm.Percentile(99)),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"Each job's segments are heap-numbered; halves rendezvous under the composite tag p = job·stride + parent, so the run needs WithMaxSplitWidth(DivConqSplitWidth(...)) — modulo folding must never collapse two live joins onto one replica.  \"pair replicas\" counts dc_pairs replicas instantiated per run (one per merge) and \"max width\" the widest single stage; outputs are checked against sort.Ints.")
+	return t, results
+}
+
+// e19Request drives one /api/run round-trip and checks the response against
+// the webpipe reference, returning the request latency.
+func e19Request(client *http.Client, url string, id int) (time.Duration, error) {
+	reqURL := workloads.WebPipeURL(id)
+	body, _ := json.Marshal(map[string]any{
+		"net": "webpipe",
+		"records": []service.RecordJSON{{
+			Tags:   map[string]int{"id": id},
+			Fields: map[string]string{"url": reqURL},
+		}},
+		"wait": "30s",
+	})
+	start := time.Now()
+	resp, err := client.Post(url+"/api/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Records []service.RecordJSON `json:"records"`
+		Done    bool                 `json:"done"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("E19: HTTP %d", resp.StatusCode)
+	}
+	if !out.Done || len(out.Records) != 1 {
+		return 0, fmt.Errorf("E19: done=%v records=%d", out.Done, len(out.Records))
+	}
+	wantResp, wantStatus := workloads.WebPipeReference(reqURL)
+	rec := out.Records[0]
+	if rec.Fields["resp"] != wantResp || rec.Tags["status"] != wantStatus {
+		return 0, fmt.Errorf("E19: response diverged from reference for %s", reqURL)
+	}
+	return elapsed, nil
+}
+
+// E19HTTPSessions benchmarks the request/response workload end-to-end over
+// the snetd HTTP wire protocol: a large concurrent-client harness fires
+// one-shot /api/run sessions at the webpipe network and measures p50/p99
+// session latency in Isolated vs Shared mode.
+func E19HTTPSessions() (*Table, []Result) {
+	t := &Table{
+		ID:    "E19",
+		Title: "HTTP request/response — concurrent one-shot sessions over snetd, Isolated vs Shared",
+		Claim: "the warm shared engine turns session open from a graph instantiation into a map insert (E15); under web-shaped concurrent load that difference is tail latency — the deployed-runtime scenario of the S-Net service evaluations (arXiv:1306.2743)",
+		Header: []string{"mode", "clients", "requests", "wall", "req/s", "p50", "p99"},
+	}
+	var results []Result
+	clients, perClient := 1000, 5
+	if Smoke {
+		clients, perClient = 64, 2
+	}
+	for _, mode := range []service.SessionMode{service.Isolated, service.Shared} {
+		svc := service.New()
+		svc.Register("webpipe", "request/response workload", service.Options{
+			SessionMode: mode,
+			MaxSessions: -1,
+			BufferSize:  8,
+		}, func(service.Options) (snet.Node, error) {
+			return workloads.WebPipeNet(), nil
+		}, nil)
+		srv := httptest.NewServer(svc.Handler())
+		client := &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        clients,
+			MaxIdleConnsPerHost: clients,
+		}}
+		if mode == service.Shared {
+			// Warm the engine: the one instantiation all sessions amortize.
+			if _, err := e19Request(client, srv.URL, 0); err != nil {
+				panic(err)
+			}
+		}
+
+		latencies := make([]time.Duration, clients*perClient)
+		errs := make(chan error, clients)
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for k := 0; k < perClient; k++ {
+					i := c*perClient + k
+					d, err := e19Request(client, srv.URL, i)
+					if err != nil {
+						errs <- err
+						return
+					}
+					latencies[i] = d
+				}
+			}(c)
+		}
+		wg.Wait()
+		wall := time.Since(t0)
+		close(errs)
+		for err := range errs {
+			panic(err)
+		}
+
+		total := clients * perClient
+		p50, p99 := PercentileDur(latencies, 50), PercentileDur(latencies, 99)
+		t.AddRow(mode.String(), clients, total, wall,
+			fmt.Sprintf("%.0f", float64(total)/wall.Seconds()), p50, p99)
+		results = append(results, Result{
+			Experiment:    "E19",
+			Params:        map[string]any{"mode": mode.String(), "clients": clients},
+			RecordsPerSec: float64(total) / wall.Seconds(),
+			P50Ms:         ms(p50),
+			P99Ms:         ms(p99),
+		})
+
+		if mode == service.Shared {
+			// All sessions released: the mux gauge must drain to zero.
+			deadline := time.Now().Add(10 * time.Second)
+			gauge := func() int64 { return svc.Stats()["run.webpipe.split.session_mux.replicas"] }
+			for gauge() != 0 && time.Now().Before(deadline) {
+				time.Sleep(2 * time.Millisecond)
+			}
+			if g := gauge(); g != 0 {
+				panic(fmt.Errorf("E19: %d session replicas leaked after churn", g))
+			}
+		}
+		srv.Close()
+		svc.Shutdown()
+	}
+	t.Notes = append(t.Notes,
+		"Each request is a full HTTP one-shot session (open, feed, drain, release) against the classify→(api‖page‖asset)→render pipeline; the harness runs `clients` goroutines concurrently (the rivaas concurrent-client pattern) and checks every response against the reference.  Shared mode asserts the session_mux replica gauge back to 0 after the churn.")
+	return t, results
+}

@@ -18,10 +18,18 @@ type syncNode struct {
 
 // Sync builds a synchrocell over the given patterns (at least two).
 func Sync(patterns ...Pattern) Node {
+	return NamedSync(autoName("sync"), patterns...)
+}
+
+// NamedSync is Sync with an explicit stats label, so experiments can read
+// "sync.<name>.fired" / "sync.<name>.starved" counters and topologies carry
+// a stable node name (used by the wavefront and divide-and-conquer workload
+// suites, whose join cells are the measured artifact).
+func NamedSync(name string, patterns ...Pattern) Node {
 	if len(patterns) < 2 {
 		panic("core: Sync needs at least two patterns")
 	}
-	return &syncNode{label: autoName("sync"), patterns: patterns}
+	return &syncNode{label: name, patterns: patterns}
 }
 
 func (n *syncNode) name() string { return n.label }

@@ -1,0 +1,121 @@
+package workloads
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"repro/snet"
+)
+
+var update = flag.Bool("update", false, "rewrite topology golden files")
+
+// autoNamePat matches the runtime's anonymous node names ("kind#N"); the
+// counter behind them is process-global, so goldens must be compared with
+// the numbers normalized.
+var autoNamePat = regexp.MustCompile(`#\d+`)
+
+func workloadPlans(t *testing.T) map[string]snet.Node {
+	t.Helper()
+	return map[string]snet.Node{
+		"wavefront": WavefrontNet(4, 1),
+		"divconq":   DivConqNet(16, 4),
+		"webpipe":   WebPipeNet(),
+	}
+}
+
+// TestWorkloadTopologyGolden pins the typed graph Plan.Topology exports for
+// each workload: the JSON must match the committed golden (modulo anonymous
+// name counters) and survive an unmarshal/marshal round-trip.
+func TestWorkloadTopologyGolden(t *testing.T) {
+	for name, net := range workloadPlans(t) {
+		name, net := name, net
+		t.Run(name, func(t *testing.T) {
+			plan, err := snet.Compile(net)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			raw, err := json.MarshalIndent(plan.Topology(), "", "  ")
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			got := autoNamePat.ReplaceAll(raw, []byte("#N"))
+			got = append(got, '\n')
+
+			golden := filepath.Join("testdata", name+".topology.json")
+			if *update {
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("topology drifted from %s (re-run with -update if intended)\ngot:\n%s", golden, got)
+			}
+
+			// Round-trip: the exported JSON must decode back into a Topology
+			// that re-encodes identically.
+			var rt snet.Topology
+			if err := json.Unmarshal(raw, &rt); err != nil {
+				t.Fatalf("round-trip unmarshal: %v", err)
+			}
+			raw2, err := json.MarshalIndent(&rt, "", "  ")
+			if err != nil {
+				t.Fatalf("round-trip marshal: %v", err)
+			}
+			if !bytes.Equal(raw, raw2) {
+				t.Errorf("topology JSON does not round-trip:\nfirst:\n%s\nsecond:\n%s", raw, raw2)
+			}
+		})
+	}
+}
+
+// TestWorkloadTopologyNames asserts every sync/star/split node in the
+// workload graphs carries an explicit (non-anonymous) name, so their stats
+// keys are stable across runs.
+func TestWorkloadTopologyNames(t *testing.T) {
+	wantNames := map[string][]string{
+		"wavefront": {"wave_front", "wave_cells", "wave_join"},
+		"divconq":   {"dc_tree", "dc_pairs", "dc_join"},
+		"webpipe":   nil, // plain pipeline: no replication or joins
+	}
+	for name, net := range workloadPlans(t) {
+		name, net := name, net
+		t.Run(name, func(t *testing.T) {
+			plan, err := snet.Compile(net)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			found := map[string]string{}
+			var walk func(n *snet.Topology)
+			walk = func(n *snet.Topology) {
+				switch n.Kind {
+				case "sync", "star", "split":
+					if autoNamePat.MatchString(n.Name) {
+						t.Errorf("%s node at %s has anonymous name %q", n.Kind, n.Path, n.Name)
+					}
+					found[n.Name] = n.Kind
+				}
+				for _, c := range n.Children {
+					walk(c)
+				}
+			}
+			walk(plan.Topology())
+			for _, want := range wantNames[name] {
+				if _, ok := found[want]; !ok {
+					t.Errorf("topology is missing named node %q (have %v)", want, found)
+				}
+			}
+			if name == "webpipe" && len(found) != 0 {
+				t.Errorf("webpipe should have no sync/star/split nodes, found %v", found)
+			}
+		})
+	}
+}

@@ -1,0 +1,183 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/snet"
+)
+
+// The wavefront workload: an n×n dependency grid where cell (i,j) needs the
+// results of (i-1,j) and (i,j-1) — the data-flow shape of Cholesky
+// factorization, Smith-Waterman alignment and dynamic-programming grids, and
+// the first CnC comparison workload of Zaichenkov et al.
+//
+// The recurrence is grid shortest-path:
+//
+//	v(0,0) = cost(0,0)
+//	v(0,j) = v(0,j-1) + cost(0,j)          (top edge)
+//	v(i,0) = v(i-1,0) + cost(i,0)          (left edge)
+//	v(i,j) = min(v(i-1,j), v(i,j-1)) + cost(i,j)
+//
+// As a network, every value becomes a record addressed to the cell that
+// consumes it, and the join of the two contributions of an interior cell is
+// a synchrocell — one per cell, isolated inside tag-indexed parallel
+// replication over the <cell> tag:
+//
+//	( corner || top || left ||
+//	  (([| {up,...}, {left,...} |] .. cell) !! <cell>) ) ** {<done>}
+//
+// The serial replicator advances the wavefront: every emitted record targets
+// a cell on the *next* anti-diagonal, so stage s of the star processes
+// exactly diagonal s-1, both contributions of a cell always meet in the same
+// stage's replica, and the unfolding depth is 2n-1.  The network emits a
+// single {result, <done>} record carrying v(n-1,n-1).
+
+// WavefrontCells returns the number of cell values an n×n wavefront run
+// computes — the workload-item count behind the E17 records/s figures.
+func WavefrontCells(n int) int { return n * n }
+
+// wavefrontCost derives the deterministic cost matrix from the seed
+// (splitmix64 over the cell index, folded to a small non-negative int).
+func wavefrontCost(n int, seed int64) func(i, j int) int {
+	return func(i, j int) int {
+		z := uint64(seed) + uint64(i*n+j+1)*0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return int((z ^ (z >> 31)) % 1000)
+	}
+}
+
+// WavefrontReference computes v(n-1,n-1) sequentially — the value the
+// network's {result} record must reproduce.
+func WavefrontReference(n int, seed int64) int {
+	cost := wavefrontCost(n, seed)
+	prev := make([]int, n)
+	row := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch {
+			case i == 0 && j == 0:
+				row[j] = cost(0, 0)
+			case i == 0:
+				row[j] = row[j-1] + cost(0, j)
+			case j == 0:
+				row[j] = prev[0] + cost(i, 0)
+			default:
+				up, left := prev[j], row[j-1]
+				if left < up {
+					up = left
+				}
+				row[j] = up + cost(i, j)
+			}
+		}
+		prev, row = row, prev
+	}
+	return prev[n-1]
+}
+
+// WavefrontSeed returns the single input record that starts the wavefront:
+// the {start} record consumed by the corner box.
+func WavefrontSeed() *snet.Record {
+	return snet.NewRecord().SetField("start", 1)
+}
+
+// WavefrontBoxes returns the four boxes of the wavefront net keyed by their
+// .snet declaration names, for binding a lang.Registry (see
+// examples/wavefront/wavefront.snet).  The grid size and cost matrix are
+// captured by the closures — the coordination layer never sees them.
+func WavefrontBoxes(n int, seed int64) map[string]snet.Node {
+	if n < 2 {
+		panic(fmt.Sprintf("workloads: wavefront needs n >= 2, got %d", n))
+	}
+	cost := wavefrontCost(n, seed)
+	cellID := func(i, j int) int { return i*n + j }
+
+	// corner computes v(0,0) and seeds both edge chains.
+	corner := snet.NewBox("corner",
+		snet.MustParseSignature("(start) -> (bleft, <col>) | (bup, <row>)"),
+		func(args []any, out *snet.Emitter) error {
+			v := cost(0, 0)
+			if err := out.Out(1, v, 1); err != nil {
+				return err
+			}
+			return out.Out(2, v, 1)
+		})
+
+	// top computes the top-edge cell (0,col): continues the edge chain
+	// rightwards and feeds the interior cell below it.
+	top := snet.NewBox("top",
+		snet.MustParseSignature("(bleft, <col>) -> (bleft, <col>) | (up, <row>, <col>, <cell>)"),
+		func(args []any, out *snet.Emitter) error {
+			j := args[1].(int)
+			v := args[0].(int) + cost(0, j)
+			if j+1 < n {
+				if err := out.Out(1, v, j+1); err != nil {
+					return err
+				}
+			}
+			return out.Out(2, v, 1, j, cellID(1, j))
+		})
+
+	// left computes the left-edge cell (row,0): continues the edge chain
+	// downwards and feeds the interior cell to its right.
+	left := snet.NewBox("left",
+		snet.MustParseSignature("(bup, <row>) -> (bup, <row>) | (left, <row>, <col>, <cell>)"),
+		func(args []any, out *snet.Emitter) error {
+			i := args[1].(int)
+			v := args[0].(int) + cost(i, 0)
+			if i+1 < n {
+				if err := out.Out(1, v, i+1); err != nil {
+					return err
+				}
+			}
+			return out.Out(2, v, i, 1, cellID(i, 1))
+		})
+
+	// cell computes an interior cell from the synchrocell's merged {up,left}
+	// record and fans the value out to the next diagonal; the bottom-right
+	// cell emits the result instead.
+	cell := snet.NewBox("cell",
+		snet.MustParseSignature("(up, left, <row>, <col>, <cell>) -> "+
+			"(left, <row>, <col>, <cell>) | (up, <row>, <col>, <cell>) | (result, <done>)"),
+		func(args []any, out *snet.Emitter) error {
+			up, lf := args[0].(int), args[1].(int)
+			i, j := args[2].(int), args[3].(int)
+			v := up
+			if lf < v {
+				v = lf
+			}
+			v += cost(i, j)
+			if i == n-1 && j == n-1 {
+				return out.Out(3, v, 1)
+			}
+			if j+1 < n {
+				if err := out.Out(1, v, i, j+1, cellID(i, j+1)); err != nil {
+					return err
+				}
+			}
+			if i+1 < n {
+				return out.Out(2, v, i+1, j, cellID(i+1, j))
+			}
+			return nil
+		})
+
+	return map[string]snet.Node{"corner": corner, "top": top, "left": left, "cell": cell}
+}
+
+// WavefrontNet builds the wavefront network for an n×n grid (n >= 2) with
+// named star/split/sync nodes: "star.wave_front.replicas" counts the
+// anti-diagonal stages (2n-1), "split.wave_cells.replicas" the live interior
+// cell replicas, and "sync.wave_join.fired" the joins performed (one per
+// interior cell).
+func WavefrontNet(n int, seed int64) snet.Node {
+	b := WavefrontBoxes(n, seed)
+	interior := snet.NamedSplit("wave_cells",
+		snet.Serial(
+			snet.NamedSync("wave_join",
+				snet.MustParsePattern("{up, <row>, <col>, <cell>}"),
+				snet.MustParsePattern("{left, <row>, <col>, <cell>}")),
+			b["cell"]),
+		"cell")
+	stage := snet.Parallel(b["corner"], b["top"], b["left"], interior)
+	return snet.NamedStar("wave_front", stage, snet.MustParsePattern("{<done>}"))
+}

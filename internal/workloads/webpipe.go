@@ -1,0 +1,123 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/snet"
+)
+
+// The request/response workload: a web-shaped classify → handle → render
+// pipeline, the session workload behind the snetd HTTP benchmarks (E19).
+//
+//	classify .. (api || page || asset) .. render
+//
+// classify routes a {url, <id>} request to one of three handlers by URL
+// prefix; each handler produces a {body, <id>, <status>} record and render
+// wraps it into the final {resp, <id>, <status>}.  All fields are strings
+// and all tags ints, so the net runs unchanged over snetd's HTTP wire
+// protocol (GenericCodec) — the E19 harness drives it through
+// service.Handler with a 1000-goroutine concurrent client.
+
+// WebPipeBoxes returns the five boxes of the webpipe net keyed by their
+// .snet declaration names (see examples/webpipe/webpipe.snet).
+func WebPipeBoxes() map[string]snet.Node {
+	classify := snet.NewBox("classify",
+		snet.MustParseSignature("(url, <id>) -> (api, <id>) | (page, <id>) | (asset, <id>)"),
+		func(args []any, out *snet.Emitter) error {
+			url := args[0].(string)
+			id := args[1].(int)
+			switch {
+			case strings.HasPrefix(url, "/api/"):
+				return out.Out(1, url, id)
+			case strings.HasPrefix(url, "/static/"):
+				return out.Out(3, url, id)
+			default:
+				return out.Out(2, url, id)
+			}
+		})
+
+	api := snet.NewBox("api",
+		snet.MustParseSignature("(api, <id>) -> (body, <id>, <status>)"),
+		func(args []any, out *snet.Emitter) error {
+			url := args[0].(string)
+			id := args[1].(int)
+			return out.Out(1, fmt.Sprintf("{\"path\":%q,\"ok\":true}", url), id, 200)
+		})
+
+	page := snet.NewBox("page",
+		snet.MustParseSignature("(page, <id>) -> (body, <id>, <status>)"),
+		func(args []any, out *snet.Emitter) error {
+			url := args[0].(string)
+			id := args[1].(int)
+			if url == "/" || strings.HasSuffix(url, ".html") {
+				return out.Out(1, "<html><body>"+url+"</body></html>", id, 200)
+			}
+			return out.Out(1, "<html><body>not found: "+url+"</body></html>", id, 404)
+		})
+
+	asset := snet.NewBox("asset",
+		snet.MustParseSignature("(asset, <id>) -> (body, <id>, <status>)"),
+		func(args []any, out *snet.Emitter) error {
+			url := args[0].(string)
+			id := args[1].(int)
+			return out.Out(1, "bytes:"+url, id, 200)
+		})
+
+	render := snet.NewBox("render",
+		snet.MustParseSignature("(body, <id>, <status>) -> (resp, <id>, <status>)"),
+		func(args []any, out *snet.Emitter) error {
+			body := args[0].(string)
+			id := args[1].(int)
+			status := args[2].(int)
+			return out.Out(1, fmt.Sprintf("%d %s", status, body), id, status)
+		})
+
+	return map[string]snet.Node{
+		"classify": classify, "api": api, "page": page, "asset": asset, "render": render,
+	}
+}
+
+// WebPipeNet builds the request/response pipeline.
+func WebPipeNet() snet.Node {
+	b := WebPipeBoxes()
+	return snet.Serial(b["classify"],
+		snet.Serial(snet.Parallel(b["api"], b["page"], b["asset"]), b["render"]))
+}
+
+// webPipeURLs is the deterministic traffic mix the generators cycle through.
+var webPipeURLs = []string{
+	"/api/users",
+	"/index.html",
+	"/static/app.js",
+	"/api/orders",
+	"/missing/page",
+	"/static/site.css",
+}
+
+// WebPipeURL returns request i's URL.
+func WebPipeURL(i int) string { return webPipeURLs[i%len(webPipeURLs)] }
+
+// WebPipeRequest builds the {url, <id>=i} input record for request i.
+func WebPipeRequest(i int) *snet.Record {
+	return snet.NewRecord().SetField("url", WebPipeURL(i)).SetTag("id", i)
+}
+
+// WebPipeReference computes the resp field and status tag the network must
+// produce for a URL.
+func WebPipeReference(url string) (string, int) {
+	var body string
+	status := 200
+	switch {
+	case strings.HasPrefix(url, "/api/"):
+		body = fmt.Sprintf("{\"path\":%q,\"ok\":true}", url)
+	case strings.HasPrefix(url, "/static/"):
+		body = "bytes:" + url
+	case url == "/" || strings.HasSuffix(url, ".html"):
+		body = "<html><body>" + url + "</body></html>"
+	default:
+		body = "<html><body>not found: " + url + "</body></html>"
+		status = 404
+	}
+	return fmt.Sprintf("%d %s", status, body), status
+}

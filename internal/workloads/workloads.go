@@ -1,0 +1,23 @@
+// Package workloads holds the CnC-style benchmark workloads that stress the
+// coordination runtime beyond the paper's sudoku case study: the workload
+// shapes of the S-Net vs Intel Concurrent Collections comparison
+// (Zaichenkov et al., arXiv:1305.7167) expressed as S-Net networks.
+//
+//   - Wavefront (wavefront.go): a Cholesky/Smith-Waterman-style dependency
+//     grid — synchrocells join the {up}/{left} contributions of every
+//     interior cell inside tag-indexed parallel replication, and serial
+//     replication advances one anti-diagonal per stage.
+//   - Divide-and-conquer (divconq.go): recursive mergesort — a star unfolds
+//     the split tree, sibling halves rendezvous in synchrocells keyed by
+//     their parent node, and merged segments climb back to the root.
+//   - Request/response (webpipe.go): a web-shaped classify → handle → render
+//     pipeline, the session workload behind the snetd HTTP benchmarks.
+//
+// Each workload exposes a programmatic net builder with *named* star, split
+// and sync nodes (stable stats keys and topology names), the box
+// constructors an snet/lang registry binds the corresponding .snet surface
+// program against (see examples/wavefront, examples/divconq,
+// examples/webpipe), an input generator, and a sequential reference the
+// tests and experiments check results against.  internal/bench runs them as
+// experiments E17–E19.
+package workloads

@@ -1,0 +1,102 @@
+package workloads
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/snet"
+)
+
+func TestWavefrontMatchesReference(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			seed := int64(7 * n)
+			out, stats, err := snet.RunAll(context.Background(), WavefrontNet(n, seed),
+				[]*snet.Record{WavefrontSeed()})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if len(out) != 1 {
+				t.Fatalf("want 1 output record, got %d: %v", len(out), out)
+			}
+			got := out[0].MustField("result").(int)
+			want := WavefrontReference(n, seed)
+			if got != want {
+				t.Fatalf("wavefront n=%d: got %d, want %d", n, got, want)
+			}
+			m := stats.Snapshot()
+			if fired, interior := m["sync.wave_join.fired"], int64((n-1)*(n-1)); fired != interior {
+				t.Errorf("sync.wave_join.fired = %d, want %d (one per interior cell)", fired, interior)
+			}
+			if starved := m["sync.wave_join.starved"]; starved != 0 {
+				t.Errorf("sync.wave_join.starved = %d, want 0", starved)
+			}
+		})
+	}
+}
+
+func TestDivConqMatchesReference(t *testing.T) {
+	const jobs, n, leaf = 3, 64, 8
+	seed := int64(42)
+	out, stats, err := snet.RunAll(context.Background(), DivConqNet(n, leaf),
+		DivConqJobs(jobs, n, seed),
+		snet.WithMaxSplitWidth(DivConqSplitWidth(jobs, n, leaf)))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(out) != jobs {
+		t.Fatalf("want %d output records, got %d", jobs, len(out))
+	}
+	seen := make(map[int]bool)
+	for _, rec := range out {
+		job := rec.MustTag("job")
+		if seen[job] {
+			t.Fatalf("duplicate output for job %d", job)
+		}
+		seen[job] = true
+		got := rec.MustField("out").([]int)
+		want := DivConqReference(DivConqInput(n, seed, job))
+		if len(got) != len(want) {
+			t.Fatalf("job %d: got %d elements, want %d", job, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("job %d: element %d = %d, want %d", job, i, got[i], want[i])
+			}
+		}
+	}
+	m := stats.Snapshot()
+	if fired, merges := m["sync.dc_join.fired"], int64(jobs*(n/leaf-1)); fired != merges {
+		t.Errorf("sync.dc_join.fired = %d, want %d (n/leaf-1 merges per job)", fired, merges)
+	}
+	if starved := m["sync.dc_join.starved"]; starved != 0 {
+		t.Errorf("sync.dc_join.starved = %d, want 0", starved)
+	}
+}
+
+func TestWebPipeMatchesReference(t *testing.T) {
+	const c = 60
+	in := make([]*snet.Record, c)
+	for i := range in {
+		in[i] = WebPipeRequest(i)
+	}
+	out, _, err := snet.RunAll(context.Background(), WebPipeNet(), in)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(out) != c {
+		t.Fatalf("want %d responses, got %d", c, len(out))
+	}
+	for _, rec := range out {
+		id := rec.MustTag("id")
+		wantResp, wantStatus := WebPipeReference(WebPipeURL(id))
+		if got := rec.MustField("resp").(string); got != wantResp {
+			t.Errorf("id %d: resp %q, want %q", id, got, wantResp)
+		}
+		if got := rec.MustTag("status"); got != wantStatus {
+			t.Errorf("id %d: status %d, want %d", id, got, wantStatus)
+		}
+	}
+}

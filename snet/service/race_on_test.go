@@ -1,0 +1,8 @@
+//go:build race
+
+package service
+
+// raceEnabled reports whether this test binary was built with -race; the
+// soak test skips itself there (the detector's memory overhead at 100k
+// sessions dwarfs the scenario being tested).
+const raceEnabled = true

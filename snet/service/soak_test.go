@@ -1,0 +1,154 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSharedModeSessionSoak is the sustained-load correctness test: churn
+// S >= 100k sessions through one warm shared engine and assert the runtime
+// ends exactly where it started — the session_mux replica gauge back to 0,
+// every record accounted for (in == out, nothing dropped or stray), and the
+// goroutine count back at base.
+//
+// The run is opt-in (set SNET_SOAK=1; SNET_SOAK_SESSIONS overrides the
+// churn size) because 100k sessions take minutes, and it skips itself under
+// -race: the detector's per-access overhead at this scale tests the
+// detector, not the close protocol.  CI runs it as a dedicated non-race
+// job.
+func TestSharedModeSessionSoak(t *testing.T) {
+	if os.Getenv("SNET_SOAK") == "" {
+		t.Skip("soak: set SNET_SOAK=1 to run the 100k-session churn")
+	}
+	if raceEnabled {
+		t.Skip("soak: skipped under -race; run without the detector")
+	}
+	sessions := 100_000
+	if v := os.Getenv("SNET_SOAK_SESSIONS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad SNET_SOAK_SESSIONS %q", v)
+		}
+		sessions = n
+	}
+	const perSession = 2
+	workers := 64
+
+	base := runtime.NumGoroutine()
+	svc := New()
+	defer svc.Shutdown()
+	svc.Register("pipe", "", Options{
+		SessionMode: Shared,
+		MaxSessions: -1,
+		BufferSize:  4,
+	}, pipeNet, nil)
+
+	var next atomic.Int64
+	var done atomic.Int64
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= sessions {
+					return
+				}
+				sess, err := svc.Open("pipe")
+				if err != nil {
+					errs <- fmt.Errorf("session %d: open: %w", i, err)
+					return
+				}
+				for k := 0; k < perSession; k++ {
+					if err := sess.Send(ctx, recN(i+k)); err != nil {
+						errs <- fmt.Errorf("session %d: send: %w", i, err)
+						sess.Release()
+						return
+					}
+				}
+				sess.CloseInput()
+				recs, ok, err := sess.Drain(ctx, 0)
+				if err != nil || !ok {
+					errs <- fmt.Errorf("session %d: drain: done=%v err=%w", i, ok, err)
+					sess.Release()
+					return
+				}
+				if len(recs) != perSession {
+					errs <- fmt.Errorf("session %d: %d records, want %d", i, len(recs), perSession)
+					sess.Release()
+					return
+				}
+				for k, r := range recs {
+					if got, _ := r.Tag("n"); got != ((i+k)+1)*2+3 {
+						errs <- fmt.Errorf("session %d record %d: n=%d", i, k, got)
+						sess.Release()
+						return
+					}
+				}
+				sess.Release()
+				done.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := done.Load(); got != int64(sessions) {
+		t.Fatalf("completed %d sessions, want %d", got, sessions)
+	}
+	t.Logf("soak: %d sessions × %d records in %v (%.0f sessions/s)",
+		sessions, perSession, time.Since(start).Round(time.Millisecond),
+		float64(sessions)/time.Since(start).Seconds())
+
+	// The close protocol reclaims session replicas asynchronously: poll the
+	// live gauge down to zero, then pin the ledger.
+	gauge := func() int64 { return svc.Stats()["run.pipe.split.session_mux.replicas"] }
+	deadline := time.Now().Add(30 * time.Second)
+	for gauge() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := gauge(); g != 0 {
+		t.Fatalf("split.session_mux.replicas = %d after churn, want 0", g)
+	}
+
+	m := svc.Stats()
+	expectEq := func(key string, want int64) {
+		t.Helper()
+		if got := m[key]; got != want {
+			t.Errorf("%s = %d, want %d", key, got, want)
+		}
+	}
+	expectEq("net.pipe.sessions.opened", int64(sessions))
+	expectEq("net.pipe.sessions.closed", int64(sessions))
+	expectEq("net.pipe.records.in", int64(sessions*perSession))
+	expectEq("net.pipe.records.out", int64(sessions*perSession))
+	expectEq("net.pipe.engine.dropped", 0)
+	expectEq("net.pipe.engine.stray", 0)
+	expectEq("run.pipe.stream.discarded", 0)
+
+	// Goroutines: everything the churn spawned must have unwound (the warm
+	// engine itself stays up until Shutdown).
+	glimit := base + 32
+	deadline = time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > glimit && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > glimit {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("goroutine leak after soak: %d > %d\n%.8000s", g, glimit, buf[:n])
+	}
+}

@@ -1,0 +1,91 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/workloads"
+	"repro/snet"
+)
+
+// TestDivConqCrossModeDeterminism extends the cross-mode determinism
+// property to recursive star nets: the divide-and-conquer workload — star
+// unfolding, per-pair split replicas and synchrocell joins — must produce
+// the same per-job output under every (W,B) ∈ {1,4}×{1,64} combination in
+// both session modes, with several sessions running concurrently over the
+// same network.
+func TestDivConqCrossModeDeterminism(t *testing.T) {
+	const jobs, n, leaf = 4, 64, 8
+	const sessions = 3
+
+	reference := func(seed int64) map[int]string {
+		want := make(map[int]string, jobs)
+		for j := 0; j < jobs; j++ {
+			want[j] = fmt.Sprint(workloads.DivConqReference(workloads.DivConqInput(n, seed, j)))
+		}
+		return want
+	}
+
+	for _, mode := range []SessionMode{Isolated, Shared} {
+		for _, w := range []int{1, 4} {
+			for _, b := range []int{1, 64} {
+				mode, w, b := mode, w, b
+				t.Run(fmt.Sprintf("%s/W=%d/B=%d", mode, w, b), func(t *testing.T) {
+					svc := New()
+					defer svc.Shutdown()
+					svc.Register("dc", "", Options{
+						SessionMode:   mode,
+						BoxWorkers:    w,
+						StreamBatch:   b,
+						BufferSize:    4,
+						MaxSplitWidth: workloads.DivConqSplitWidth(jobs, n, leaf),
+					}, func(Options) (snet.Node, error) {
+						return workloads.DivConqNet(n, leaf), nil
+					}, nil)
+
+					var wg sync.WaitGroup
+					for c := 0; c < sessions; c++ {
+						wg.Add(1)
+						go func(c int) {
+							defer wg.Done()
+							seed := int64(100 + c)
+							sess, err := svc.Open("dc")
+							if err != nil {
+								t.Errorf("session %d: open: %v", c, err)
+								return
+							}
+							defer sess.Release()
+							ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+							defer cancel()
+							if _, err := sess.SendBatch(ctx, workloads.DivConqJobs(jobs, n, seed)); err != nil {
+								t.Errorf("session %d: send: %v", c, err)
+								return
+							}
+							sess.CloseInput()
+							recs, done, err := sess.Drain(ctx, 0)
+							if err != nil || !done {
+								t.Errorf("session %d: drain: done=%v err=%v", c, done, err)
+								return
+							}
+							if len(recs) != jobs {
+								t.Errorf("session %d: %d output records, want %d", c, len(recs), jobs)
+								return
+							}
+							want := reference(seed)
+							for _, rec := range recs {
+								job := rec.MustTag("job")
+								if got := fmt.Sprint(rec.MustField("out").([]int)); got != want[job] {
+									t.Errorf("session %d job %d: output diverged from reference", c, job)
+								}
+							}
+						}(c)
+					}
+					wg.Wait()
+				})
+			}
+		}
+	}
+}

@@ -175,6 +175,9 @@ var (
 	// session-multiplexing configuration of snet/service's shared mode.
 	SessionSplit = core.SessionSplit
 	Sync         = core.Sync
+	// NamedSync is Sync with an explicit stats label
+	// ("sync.<name>.fired"/"sync.<name>.starved") and a stable topology name.
+	NamedSync = core.NamedSync
 	// HideTags is a transparent node deleting the given tags from every
 	// record — compose it serially where a routing tag must not travel on.
 	HideTags = core.HideTags
