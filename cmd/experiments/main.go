@@ -5,10 +5,11 @@
 // Usage:
 //
 //	experiments [-reps n] [-workers w] [-grain g] [-stream-batch B] [-only E3]
-//	            [-smoke] [-bench-out BENCH_6.json]
+//	            [-smoke] [-bench-out BENCH_7.json]
 //
 // The workload-suite experiments (E17 wavefront, E18 divide-and-conquer,
-// E19 HTTP request/response) additionally persist machine-readable results:
+// E19 HTTP request/response, E20 static liveness analysis) additionally
+// persist machine-readable results:
 // their data points are merged into the -bench-out file (schema-validated
 // after writing), so successive PRs can diff the performance trajectory.
 // -smoke shrinks them to CI sizes without changing the sweep structure.
@@ -32,8 +33,8 @@ func main() {
 		grain    = flag.Int("grain", 0, "with-loop minimum chunk size for every pool (0: per-experiment default)")
 		batch    = flag.Int("stream-batch", 0, "stream batch size B for every run (0: runtime default; E13/E14 sweep B regardless)")
 		only     = flag.String("only", "", "run a single experiment (e.g. E3)")
-		smoke    = flag.Bool("smoke", false, "shrink the workload experiments (E17-E19) to CI-smoke sizes")
-		benchOut = flag.String("bench-out", "BENCH_6.json", "merge E17-E19 machine-readable results into this file (empty: don't write)")
+		smoke    = flag.Bool("smoke", false, "shrink the workload experiments (E17-E20) to CI-smoke sizes")
+		benchOut = flag.String("bench-out", "BENCH_7.json", "merge E17-E20 machine-readable results into this file (empty: don't write)")
 	)
 	flag.Parse()
 	bench.Reps = *reps
@@ -56,6 +57,7 @@ func main() {
 		workload(bench.E17Wavefront)
 		workload(bench.E18DivConq)
 		workload(bench.E19HTTPSessions)
+		workload(bench.E20Lint)
 	} else {
 		switch strings.ToUpper(*only) {
 		case "E1":
@@ -90,6 +92,8 @@ func main() {
 			workload(bench.E18DivConq)
 		case "E19":
 			workload(bench.E19HTTPSessions)
+		case "E20":
+			workload(bench.E20Lint)
 		default:
 			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (E7 is covered by unit tests)\n", *only)
 			os.Exit(2)

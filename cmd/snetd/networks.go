@@ -2,15 +2,45 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/workloads"
 	"repro/snet"
 	"repro/snet/lang"
 	"repro/snet/service"
 	"repro/sudoku"
 )
+
+// lintOut receives the registration-time static-analysis findings.  The
+// daemon keeps serving with findings present — they are coordination
+// hazards (sync starvation, dead arms, unbounded replication), not the
+// definite type errors that refuse startup — but they belong in the log
+// before the first session opens, not in a debugging session afterwards.
+var lintOut io.Writer = os.Stderr
+
+// lintNetwork compiles one network blueprint and logs every liveness
+// finding.  Compile errors are ignored here: the Go-built networks are
+// trusted to type-check (their tests compile them), and the lang path
+// reports compile errors through its own refuse-startup check.
+func lintNetwork(name string, node snet.Node) {
+	plan, _ := snet.Compile(node)
+	if plan == nil {
+		return
+	}
+	logFindings(name, analysis.Analyze(plan))
+}
+
+func logFindings(name string, rep *analysis.Report) {
+	if rep == nil {
+		return
+	}
+	for _, f := range rep.Findings {
+		fmt.Fprintf(lintOut, "snetd: net %s: %v\n", name, f)
+	}
+}
 
 // boardCodec is the wire codec of the sudoku networks: the "board" field
 // travels as the conventional 81-character single-line form ('.' or '0'
@@ -78,13 +108,19 @@ func registerSudokuNets(svc *service.Service, opts service.Options, cfg config) 
 			}), nil
 		}
 	}
-	svc.Register("fig1", "Fig. 1: computeOpts .. (solveOneLevel ** {<done>})",
-		opts, mk(sudoku.Fig1Net), boardCodec{})
-	svc.Register("fig2", "Fig. 2: (solveOneLevel !! <k>) ** {<done>} (full unfolding)",
-		opts, mk(sudoku.Fig2Net), boardCodec{})
-	svc.Register("fig3",
+	reg := func(name, desc string, build service.Builder) {
+		svc.Register(name, desc, opts, build, boardCodec{})
+		if node, err := build(opts); err == nil {
+			lintNetwork(name, node)
+		}
+	}
+	reg("fig1", "Fig. 1: computeOpts .. (solveOneLevel ** {<done>})",
+		mk(sudoku.Fig1Net))
+	reg("fig2", "Fig. 2: (solveOneLevel !! <k>) ** {<done>} (full unfolding)",
+		mk(sudoku.Fig2Net))
+	reg("fig3",
 		fmt.Sprintf("Fig. 3: throttled unfolding (m=%d, exit level %d, terminal solve)", cfg.throttle, cfg.level),
-		opts, mk(sudoku.Fig3Net), boardCodec{})
+		mk(sudoku.Fig3Net))
 }
 
 // registerWorkloadNets registers the benchmark-suite networks that work
@@ -99,11 +135,13 @@ func registerWorkloadNets(svc *service.Service, opts service.Options) {
 		opts, func(service.Options) (snet.Node, error) {
 			return workloads.WebPipeNet(), nil
 		}, nil)
+	lintNetwork("webpipe", workloads.WebPipeNet())
 	svc.Register("wavefront",
 		"wavefront workload: 64×64 dependency grid of synchrocell joins (E17)",
 		opts, func(service.Options) (snet.Node, error) {
 			return workloads.WavefrontNet(64, 61), nil
 		}, nil)
+	lintNetwork("wavefront", workloads.WavefrontNet(64, 61))
 }
 
 // demoRegistry binds the same built-in demonstration boxes as cmd/snetrun.
@@ -156,12 +194,17 @@ func registerLangNets(svc *service.Service, opts service.Options, path string) e
 		// Compile now: unbound boxes and definite type errors (unreachable
 		// branches, unroutable shapes, missing split tags) refuse startup
 		// with their .snet source positions, instead of surfacing as
-		// runtime routing failures mid-session.  The service compiles the
-		// builder's output once more on first Open and caches the plan;
-		// nodes are stateless blueprints, so every session shares it.
-		if _, err := lang.CompileNet(prog, name, reg); err != nil {
+		// runtime routing failures mid-session.  The liveness analysis
+		// runs over the same compiled plan and its findings — coordination
+		// hazards, not definite errors — are logged rather than fatal.
+		// The service compiles the builder's output once more on first
+		// Open and caches the plan; nodes are stateless blueprints, so
+		// every session shares it.
+		_, rep, err := lang.AnalyzeNet(prog, name, reg)
+		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
+		logFindings(name, rep)
 		svc.Register(name, "from "+path, opts,
 			func(service.Options) (snet.Node, error) {
 				return lang.Build(prog, name, reg)

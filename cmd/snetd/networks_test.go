@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// starvingNet is a program whose synchrocell has one pattern ({ghost}) that
+// no upstream variant can ever satisfy — a registration-time lint finding,
+// not a type error, so the daemon must register it and log the hazard.
+const starvingNet = `
+box inc (<n>) -> (<n>);
+box echo () -> ();
+net halfsync connect inc .. [| {<n>}, {ghost} |] .. echo;
+`
+
+// captureLint swaps the registration-time lint writer for a buffer.
+func captureLint(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	old := lintOut
+	lintOut = &buf
+	t.Cleanup(func() { lintOut = old })
+	return &buf
+}
+
+// TestBuiltinNetworksLintClean pins that every network the daemon ships —
+// the three sudoku figures and the two workload nets — registers without a
+// single liveness finding.
+func TestBuiltinNetworksLintClean(t *testing.T) {
+	buf := captureLint(t)
+	svc, err := newService(config{workers: 1, throttle: 4, level: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Shutdown()
+	if buf.Len() != 0 {
+		t.Errorf("built-in networks produced lint findings:\n%s", buf.String())
+	}
+}
+
+// TestLangNetworkLintLoggedAtRegistration registers a textual net with a
+// starving synchrocell and checks the finding lands in the daemon log —
+// with its code, node path, and .snet source position — while the network
+// still registers (findings warn, they do not refuse startup).
+func TestLangNetworkLintLoggedAtRegistration(t *testing.T) {
+	buf := captureLint(t)
+	path := filepath.Join(t.TempDir(), "halfsync.snet")
+	if err := os.WriteFile(path, []byte(starvingNet), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := newService(config{workers: 1, throttle: 4, level: 40, snetFile: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Shutdown()
+	if _, err := svc.Network("halfsync"); err != nil {
+		t.Fatalf("net with findings must still register: %v", err)
+	}
+	log := buf.String()
+	if !strings.Contains(log, "snetd: net halfsync:") {
+		t.Fatalf("no lint log line for halfsync, got:\n%s", log)
+	}
+	if !strings.Contains(log, "sync-starvation") {
+		t.Errorf("log misses the sync-starvation code:\n%s", log)
+	}
+	// The finding must carry the synchrocell's source position (line 4 of
+	// the program, the "[|" site) so the log points back into the file.
+	if !strings.Contains(log, "4:") {
+		t.Errorf("log misses the .snet source position:\n%s", log)
+	}
+}

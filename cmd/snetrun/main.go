@@ -5,7 +5,7 @@
 // Usage:
 //
 //	snetrun [-net name] [-run] [-stream-batch B] [-record '{<n>=5}']... file.snet
-//	snetrun -check file.snet...  # static diagnostics only (see below)
+//	snetrun -check [-lint[=strict]] file.snet...  # static diagnostics only
 //	snetrun -list           # show the built-in demo boxes
 //
 // -check compiles every net of the given files (snet.Compile through the
@@ -14,6 +14,13 @@
 // branches, unroutable record shapes, signature mismatches, missing split
 // tags, reserved labels — are reported with their .snet source positions.
 // The exit status is nonzero if any file has parse or type errors.
+//
+// -lint additionally runs the graph-level liveness analysis over every
+// compiled net and prints its findings — sync starvation/deadlock, dead
+// combinator arms, star divergence, unbounded split growth, marker
+// hazards — as warnings with node paths and source positions.  -lint=strict
+// makes findings count toward the nonzero exit status, the CI
+// configuration.  -lint implies -check.
 //
 // Record literals accept tags (<t>=int) and string fields (name=text).
 //
@@ -35,6 +42,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/snet"
 	"repro/snet/lang"
 )
@@ -70,6 +78,42 @@ type recordFlags []string
 func (r *recordFlags) String() string     { return strings.Join(*r, " ") }
 func (r *recordFlags) Set(s string) error { *r = append(*r, s); return nil }
 
+// lintMode is the -lint flag: off by default, "-lint" warns, "-lint=strict"
+// makes findings fail the run.
+type lintMode int
+
+const (
+	lintOff lintMode = iota
+	lintWarn
+	lintStrict
+)
+
+func (m *lintMode) IsBoolFlag() bool { return true }
+
+func (m *lintMode) String() string {
+	switch *m {
+	case lintWarn:
+		return "true"
+	case lintStrict:
+		return "strict"
+	}
+	return "false"
+}
+
+func (m *lintMode) Set(s string) error {
+	switch s {
+	case "", "true", "on", "warn":
+		*m = lintWarn
+	case "strict":
+		*m = lintStrict
+	case "false", "off":
+		*m = lintOff
+	default:
+		return fmt.Errorf("-lint accepts nothing, =strict or =off, not %q", s)
+	}
+	return nil
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "snetrun:", err)
@@ -89,8 +133,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		list    = fs.Bool("list", false, "list built-in demo boxes")
 		batch   = fs.Int("stream-batch", 0, "stream batch size B (0: runtime default)")
 		records recordFlags
+		lint    lintMode
 	)
 	fs.Var(&records, "record", "input record literal, e.g. '{<n>=5, name=abc}' (repeatable)")
+	fs.Var(&lint, "lint", "with -check: run the liveness analysis and print findings (=strict: findings fail the run)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,11 +145,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, "inc dec double split2 echo")
 		return nil
 	}
-	if *check {
+	if *check || lint != lintOff {
 		if fs.NArg() == 0 {
-			return fmt.Errorf("usage: snetrun -check file.snet...")
+			return fmt.Errorf("usage: snetrun -check [-lint[=strict]] file.snet...")
 		}
-		return runCheck(fs.Args(), *netName, stdout)
+		return runCheck(fs.Args(), *netName, lint, stdout)
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: snetrun [-net name] [-run] [-record {...}]... file.snet")
@@ -188,14 +234,19 @@ func stubBoxes(prog *lang.Program, reg *lang.Registry) {
 }
 
 // runCheck is the -check mode: compile every net (or just -net) of each
-// file and print the static diagnostics; the returned error is non-nil iff
-// any file failed to parse or compile.
-func runCheck(files []string, netName string, stdout io.Writer) error {
+// file and print the static diagnostics — and, with -lint, the liveness
+// analysis findings.  Every file is reported even when an earlier one has
+// errors; the returned error is non-nil iff any file failed to parse or
+// compile (or, under -lint=strict, had findings).
+func runCheck(files []string, netName string, lint lintMode, stdout io.Writer) error {
 	bad, matched := 0, 0
 	for _, path := range files {
 		src, err := os.ReadFile(path)
 		if err != nil {
-			return err
+			// Report and keep going: later files still get their findings.
+			fmt.Fprintf(stdout, "%s: %v\n", path, err)
+			bad++
+			continue
 		}
 		prog, err := lang.Parse(string(src))
 		if err != nil {
@@ -211,7 +262,14 @@ func runCheck(files []string, netName string, stdout io.Writer) error {
 				continue
 			}
 			checked++
-			plan, cerr := lang.CompileNet(prog, nd.Name, reg)
+			var plan *snet.Plan
+			var cerr error
+			var rep *analysis.Report
+			if lint != lintOff {
+				plan, rep, cerr = lang.AnalyzeNet(prog, nd.Name, reg)
+			} else {
+				plan, cerr = lang.CompileNet(prog, nd.Name, reg)
+			}
 			if plan == nil {
 				fmt.Fprintf(stdout, "%s: net %s: %v\n", path, nd.Name, cerr)
 				bad++
@@ -224,6 +282,14 @@ func runCheck(files []string, netName string, stdout io.Writer) error {
 			}
 			for _, d := range plan.Warnings() {
 				fmt.Fprintf(stdout, "%s:   %s\n", path, d)
+			}
+			if rep != nil {
+				for _, f := range rep.Findings {
+					fmt.Fprintf(stdout, "%s: %v\n", path, f)
+					if lint == lintStrict {
+						bad++
+					}
+				}
 			}
 		}
 		matched += checked

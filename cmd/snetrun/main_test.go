@@ -153,3 +153,69 @@ func TestCheckNamedNetAcrossFiles(t *testing.T) {
 		t.Fatalf("run -check -net nosuch succeeded (out: %s)", stdout.String())
 	}
 }
+
+// deadlocked is a program whose synchrocell's second join pattern can never
+// be filled — a lint finding, not a type error.
+const deadlocked = `
+box gen (<seed>) -> (a, <k>);
+box useBoth (a, b, <k>) -> (done);
+net deadsync connect gen .. [| {a, <k>}, {b, <k>} |] .. useBoth;
+`
+
+// TestCheckReportsAllFilesAfterError pins the multi-file contract: an
+// unreadable (or broken) early file must not stop -check from reporting the
+// later ones — all files are reported, then the run exits nonzero.
+func TestCheckReportsAllFilesAfterError(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "no_such.snet")
+	good := writeProgram(t, countdown)
+	var stdout, stderr strings.Builder
+	err := run([]string{"-check", missing, good}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("want nonzero result for the unreadable file")
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "no_such.snet") {
+		t.Errorf("missing file not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "net countdown") {
+		t.Errorf("later file was not checked after the early error:\n%s", out)
+	}
+}
+
+func TestCheckLintWarnsWithoutFailing(t *testing.T) {
+	path := writeProgram(t, deadlocked)
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-check", "-lint", path}, &stdout, &stderr); err != nil {
+		t.Fatalf("-lint (warn mode) must not fail the run: %v\n%s", err, stdout.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "[sync-starvation]") {
+		t.Errorf("missing sync-starvation finding:\n%s", out)
+	}
+	if !strings.Contains(out, "{b, <k>}") {
+		t.Errorf("finding does not name the starving pattern:\n%s", out)
+	}
+}
+
+func TestCheckLintStrictFails(t *testing.T) {
+	path := writeProgram(t, deadlocked)
+	var stdout, stderr strings.Builder
+	err := run([]string{"-check", "-lint=strict", path}, &stdout, &stderr)
+	if err == nil {
+		t.Fatalf("-lint=strict must fail on findings:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "[sync-starvation]") {
+		t.Errorf("missing finding before the failure:\n%s", stdout.String())
+	}
+}
+
+func TestLintImpliesCheck(t *testing.T) {
+	path := writeProgram(t, countdown)
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-lint", path}, &stdout, &stderr); err != nil {
+		t.Fatalf("-lint alone should enter check mode: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "net countdown") {
+		t.Errorf("check output missing:\n%s", stdout.String())
+	}
+}

@@ -1,0 +1,19 @@
+// Seeded rawchan violations: a node growing its own channel plumbing
+// instead of the streamReader/streamWriter plane.
+package core
+
+type item struct{ n int }
+type frame []item
+
+type leakyNode struct {
+	ch   chan item // want: raw chan item
+	back <-chan frame
+}
+
+func (l *leakyNode) pump() {
+	feed := make(chan item, 8) // want: raw chan item
+	go func(in chan<- item) {  // want: raw chan item
+		in <- item{n: 1}
+	}(feed)
+	l.ch = feed
+}

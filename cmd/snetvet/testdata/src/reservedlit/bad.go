@@ -1,0 +1,12 @@
+// Seeded reservedlit violations: control-record labels spelled outside
+// reserved.go.
+package engine
+
+const closeMarker = "__snet_close" // want: reserved literal
+
+func isControl(label string) bool {
+	return label == "__snet_barrier" // want: reserved literal
+}
+
+// Mid-string occurrences are prose, not labels: no finding.
+const doc = "records labelled with the __snet_ prefix are control records"

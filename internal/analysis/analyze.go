@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Analyze runs every check over the compiled plan and returns the findings,
+// sorted by (Path, Code, Msg).  The plan may have compile-time TypeErrors;
+// the analysis still runs (the flow facts exist either way) and suppresses
+// findings the compile pass already reported as errors at the same path.
+func Analyze(p *core.Plan) *Report {
+	a := &analyzer{
+		plan:     p,
+		errPaths: map[string]string{},
+		starving: map[string]core.Variant{},
+	}
+	for _, te := range p.TypeErrors() {
+		a.errPaths[te.Path] = te.Code
+	}
+	g := p.Graph()
+	if in, ok := p.FlowIn(g.Path); ok && len(in) > 0 {
+		a.rootLive = true
+	}
+	a.walk(g, walkCtx{})
+	a.checkSplits(g)
+	sort.SliceStable(a.findings, func(i, j int) bool {
+		x, y := a.findings[i], a.findings[j]
+		if x.Path != y.Path {
+			return x.Path < y.Path
+		}
+		if x.Code != y.Code {
+			return x.Code < y.Code
+		}
+		return x.Msg < y.Msg
+	})
+	return &Report{Findings: a.findings, Nodes: a.nodes}
+}
+
+// analyzer is the state of one Analyze call.
+type analyzer struct {
+	plan     *core.Plan
+	findings []*Finding
+	nodes    int
+	rootLive bool
+	// errPaths maps node paths with compile-time TypeErrors to their code,
+	// to avoid re-reporting the same defect as a finding.
+	errPaths map[string]string
+	// starving maps each synchrocell path with an unfillable pattern to
+	// that pattern's variant — consumed by the unbounded-split check.
+	starving map[string]core.Variant
+}
+
+// walkCtx is the ancestor context threaded down the graph walk.
+type walkCtx struct {
+	// deadReported marks that a dead-arm finding was already emitted for an
+	// ancestor; descendants of a dead subgraph are not re-reported.
+	deadReported bool
+	// enclosingSplit / enclosingStar hold the nearest replicating
+	// ancestors' paths ("" if none) — the marker-hazard context.
+	enclosingSplit string
+	enclosingStar  string
+	// parent is the graph parent ("" kind at the root).
+	parent *core.GraphNode
+}
+
+func (a *analyzer) emit(g *core.GraphNode, code string, variant core.Variant, msg string) {
+	a.emitExact(g, code, variant, msg, a.plan.FlowExact(g.Path))
+}
+
+func (a *analyzer) emitExact(g *core.GraphNode, code string, variant core.Variant, msg string, exact bool) {
+	a.findings = append(a.findings, &Finding{
+		Code:    code,
+		Path:    g.Path,
+		Node:    g.Name,
+		Variant: variant,
+		Msg:     msg,
+		Exact:   exact,
+		subject: g.Node,
+	})
+}
+
+// reached reports whether the flow pass delivered at least one variant to
+// the node at path.
+func (a *analyzer) reached(path string) bool {
+	in, ok := a.plan.FlowIn(path)
+	return ok && len(in) > 0
+}
+
+func (a *analyzer) walk(g *core.GraphNode, cx walkCtx) {
+	a.nodes++
+	if a.rootLive && !a.reached(g.Path) && !cx.deadReported {
+		a.checkDeadArm(g, cx)
+		cx.deadReported = true
+	}
+	if a.reached(g.Path) {
+		switch g.Kind {
+		case "sync":
+			a.checkSync(g)
+		case "star":
+			a.checkStar(g)
+		}
+	}
+	switch g.Kind {
+	case "hide":
+		a.checkHide(g)
+	case "split":
+		a.checkSessionNesting(g, cx)
+	}
+
+	childCx := cx
+	childCx.parent = g
+	switch g.Kind {
+	case "split":
+		childCx.enclosingSplit = g.Path
+	case "star":
+		childCx.enclosingStar = g.Path
+	}
+	for _, ch := range g.Children {
+		a.walk(ch, childCx)
+	}
+}

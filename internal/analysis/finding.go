@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Finding codes.
+const (
+	// CodeSyncStarvation marks a synchrocell join pattern the inferred
+	// upstream flow can never supply while other patterns fill — the
+	// stored records are held forever.
+	CodeSyncStarvation = "sync-starvation"
+	// CodeDeadArm marks a subgraph no variant of the closed-world input
+	// type ever reaches, or a synchrocell that can never fire.
+	CodeDeadArm = "dead-arm"
+	// CodeStarDivergence marks a serial replication whose entering records
+	// can never satisfy the exit pattern.
+	CodeStarDivergence = "star-divergence"
+	// CodeUnboundedSplit marks an indexed parallel replication whose
+	// replicas contain a starving join and have no retire path.
+	CodeUnboundedSplit = "unbounded-split"
+	// CodeMarkerHazard marks a subgraph that can drop or reorder reserved
+	// "__snet_" control records.
+	CodeMarkerHazard = "marker-hazard"
+)
+
+// Finding is one structured analysis result, mirroring core.TypeError: Path
+// locates the node from the compiled root, Pos is filled in by surface
+// front ends (snet/lang) that can map the subject node to .snet source.
+type Finding struct {
+	Code    string       // one of the Code constants
+	Path    string       // node path from the compiled root
+	Node    string       // the subject node's name
+	Variant core.Variant // record shape or pattern variant exhibiting the defect, if any
+	Msg     string
+	Pos     string // source position ("line:col"), if known
+	// Exact reports whether the supporting flow facts were exact; findings
+	// downstream of a synchrocell or a truncated variant set are
+	// approximate and rendered as such.
+	Exact bool
+
+	subject core.Node
+}
+
+// Subject returns the node the finding is about, for front ends that map
+// nodes back to source positions (cf. core.TypeError.Subject).
+func (f *Finding) Subject() core.Node { return f.subject }
+
+func (f *Finding) String() string {
+	var b strings.Builder
+	b.WriteString("snet: ")
+	if f.Pos != "" {
+		b.WriteString(f.Pos)
+		b.WriteString(": ")
+	}
+	fmt.Fprintf(&b, "lint [%s] at %s: %s", f.Code, f.Path, f.Msg)
+	if !f.Exact {
+		b.WriteString(" (imprecise: approximate variant flow)")
+	}
+	return b.String()
+}
+
+// Report is the result of one Analyze call.
+type Report struct {
+	// Findings, sorted by (Path, Code, Msg) for stable output.
+	Findings []*Finding
+	// Nodes is the number of graph nodes analysed.
+	Nodes int
+}
+
+// Empty reports whether the analysis found nothing.
+func (r *Report) Empty() bool { return len(r.Findings) == 0 }

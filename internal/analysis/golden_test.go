@@ -1,0 +1,114 @@
+package analysis_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/lang"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// autoNamePat normalizes the process-global combinator counter out of node
+// paths ("serial#12" → "serial#n") so goldens are stable across test
+// orderings.
+var autoNamePat = regexp.MustCompile(`#\d+`)
+
+func normalize(s string) string { return autoNamePat.ReplaceAllString(s, "#n") }
+
+// stubRegistry binds every box the program declares to a no-op
+// implementation — the fixtures are only ever compiled, never run.
+func stubRegistry(prog *lang.Program) *lang.Registry {
+	reg := lang.NewRegistry()
+	for _, bd := range prog.Boxes {
+		reg.RegisterFunc(bd.Name, func([]any, *core.Emitter) error { return nil })
+	}
+	return reg
+}
+
+// analyzeFile parses, builds and analyzes the single net of a .snet file.
+func analyzeFile(t *testing.T, path string) *analysis.Report {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lang.Parse(string(src))
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	if len(prog.Nets) != 1 {
+		t.Fatalf("%s: want exactly one net, got %d", path, len(prog.Nets))
+	}
+	_, rep, _ := lang.AnalyzeNet(prog, prog.Nets[0].Name, stubRegistry(prog))
+	if rep == nil {
+		t.Fatalf("%s: no report", path)
+	}
+	return rep
+}
+
+// render produces the golden form: one normalized Finding per line, empty
+// for a clean pass.
+func render(rep *analysis.Report) string {
+	var b strings.Builder
+	for _, f := range rep.Findings {
+		fmt.Fprintln(&b, normalize(f.String()))
+	}
+	return b.String()
+}
+
+func checkGolden(t *testing.T, goldenPath, got string) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("findings diverge from %s\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
+// TestLintFixtures checks the three seeded defect programs against their
+// golden finding lists: node paths, source positions and messages.
+func TestLintFixtures(t *testing.T) {
+	for _, name := range []string{"deadlock_sync", "dead_arm", "unbounded_split"} {
+		t.Run(name, func(t *testing.T) {
+			rep := analyzeFile(t, filepath.Join("testdata", name+".snet"))
+			if rep.Empty() {
+				t.Fatalf("fixture %s produced no findings", name)
+			}
+			checkGolden(t, filepath.Join("testdata", name+".golden"), render(rep))
+		})
+	}
+}
+
+// TestWorkloadProgramsClean checks the shipped workload/example programs
+// analyze clean — the golden files are empty.
+func TestWorkloadProgramsClean(t *testing.T) {
+	for _, tc := range []struct{ name, path string }{
+		{"wavefront", "../../examples/wavefront/wavefront.snet"},
+		{"mergesort", "../../examples/divconq/mergesort.snet"},
+		{"webpipe", "../../examples/webpipe/webpipe.snet"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := analyzeFile(t, tc.path)
+			if !rep.Empty() {
+				t.Errorf("want clean pass, got:\n%s", render(rep))
+			}
+			checkGolden(t, filepath.Join("testdata", tc.name+"_clean.golden"), render(rep))
+		})
+	}
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// The liveness checks: synchrocell starvation and star divergence.  Both
+// read the flow facts at the node's own path, so their verdicts are about
+// the closed-world input type the plan was compiled against.
+
+// checkSync classifies each join pattern of a reached synchrocell as
+// fillable (some reaching variant supplies it) or starving.  A mix of the
+// two is the paper-level deadlock of join coordination: records matching
+// the fillable patterns are stored awaiting a partner that never arrives.
+// All patterns starving means the cell never fires at all and degenerates
+// to an identity — reported as a dead arm instead.
+func (a *analyzer) checkSync(g *core.GraphNode) {
+	in, _ := a.plan.FlowIn(g.Path)
+	var fillable, starving []core.Pattern
+	for _, p := range g.Patterns {
+		supplied := false
+		for _, v := range in {
+			if p.Variant.SubsetOf(v) {
+				supplied = true
+				break
+			}
+		}
+		if supplied {
+			fillable = append(fillable, p)
+		} else {
+			starving = append(starving, p)
+		}
+	}
+	if len(starving) == 0 {
+		return
+	}
+	if len(fillable) == 0 {
+		a.emit(g, CodeDeadArm, nil, fmt.Sprintf(
+			"synchrocell %s never fires: no variant of the upstream flow matches any join pattern; the cell degenerates to an identity",
+			g.Name))
+		return
+	}
+	for _, p := range starving {
+		a.starving[g.Path] = p.Variant
+		a.emit(g, CodeSyncStarvation, p.Variant, fmt.Sprintf(
+			"join pattern %s of synchrocell %s can never be filled: no variant of the upstream flow %v supplies it; records matching %s are stored and held forever — the join deadlocks",
+			p, g.Name, in, renderPatterns(fillable)))
+	}
+}
+
+// checkStar reports a reached star whose exit set is empty: the flow
+// fixpoint found no variant — neither an input nor anything the operand
+// produces — that satisfies the exit pattern, so records circulate (and the
+// chain unfolds) without bound.
+func (a *analyzer) checkStar(g *core.GraphNode) {
+	out, ok := a.plan.FlowOut(g.Path)
+	if !ok || len(out) > 0 {
+		return
+	}
+	exit := ""
+	if g.Exit != nil {
+		exit = g.Exit.String()
+	}
+	a.emit(g, CodeStarDivergence, nil, fmt.Sprintf(
+		"no record entering star %s can ever satisfy its exit pattern %s: the replication chain unfolds without bound and no record leaves",
+		g.Name, exit))
+}
+
+func renderPatterns(ps []core.Pattern) string {
+	s := ""
+	for i, p := range ps {
+		if i > 0 {
+			s += ", "
+		}
+		s += p.String()
+	}
+	return s
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// E20Lint benchmarks the static liveness analysis over compiled plans: the
+// cost of running every graph-level check (sync starvation, dead arms,
+// star divergence, unbounded splits, marker hazards) on the shipped
+// workload networks plus a seeded-defect net, reported as analyzed graph
+// nodes per second.  The point of the experiment is the trajectory: the
+// analysis must stay cheap enough to run at every compile — daemon
+// registration, snetrun -check, CI — not just in an offline audit.
+func E20Lint() (*Table, []Result) {
+	t := &Table{
+		ID:    "E20",
+		Title: "Static liveness analysis — graph checks over compiled plans",
+		Claim: "the compile-time liveness pass (sync starvation, dead arms, unbounded replication, marker hazards) costs microseconds per network, so every compile — snetd registration, snetrun -check, CI — can afford it",
+		Header: []string{"program", "nodes", "findings", "median", "nodes/s", "p99"},
+	}
+	wavefrontN := 64
+	if Smoke {
+		wavefrontN = 12
+	}
+	progs := []struct {
+		name string
+		node core.Node
+	}{
+		{"webpipe", workloads.WebPipeNet()},
+		{fmt.Sprintf("wavefront-%d", wavefrontN), workloads.WavefrontNet(wavefrontN, 61)},
+		{"mergesort-4096", workloads.DivConqNet(4096, 64)},
+		{"starved-sync", starvedSyncNet()},
+	}
+	var results []Result
+	for _, p := range progs {
+		plan, err := core.Compile(p.node)
+		if plan == nil {
+			panic(fmt.Errorf("E20: %s: %v", p.name, err))
+		}
+		var rep *analysis.Report
+		tm := Measure(Reps, func() {
+			rep = analysis.Analyze(plan)
+		})
+		med := tm.Median()
+		nodesPerSec := float64(rep.Nodes) / med.Seconds()
+		t.AddRow(p.name, rep.Nodes, len(rep.Findings), med,
+			fmt.Sprintf("%.0f", nodesPerSec), tm.Percentile(99))
+		results = append(results, Result{
+			Experiment:    "E20",
+			Params:        map[string]any{"program": p.name},
+			RecordsPerSec: nodesPerSec,
+			P50Ms:         ms(tm.Percentile(50)),
+			P99Ms:         ms(tm.Percentile(99)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"\"nodes\" counts graph nodes visited by one Analyze pass over the already-compiled plan; \"findings\" is the report size (the workload nets analyze clean, the seeded net reports its starving synchrocell).  Analysis reuses the variant flow the compile pass already computed, so its cost is a graph walk, not a re-inference.")
+	return t, results
+}
+
+// starvedSyncNet is the seeded-defect program of E20: a synchrocell whose
+// second pattern no upstream variant satisfies, the canonical
+// registration-time finding.
+func starvedSyncNet() core.Node {
+	nop := func([]any, *core.Emitter) error { return nil }
+	gen := core.NewBox("gen", core.MustParseSignature("(<s>) -> (a, <k>)"), nop)
+	use := core.NewBox("use", core.MustParseSignature("(a, b, <k>) -> (done)"), nop)
+	join := core.Sync(
+		core.MustParsePattern("{a, <k>}"),
+		core.MustParsePattern("{b, <k>}"))
+	return core.Serial(gen, core.Serial(join, use))
+}

@@ -47,6 +47,49 @@ func (s *varSet) add(v Variant) bool {
 
 func (s *varSet) size() int { return len(s.list) }
 
+// flowFacts is the shape-flow pass's per-path trace: for every node path the
+// pass visited, the union of variants that entered (in) and left (out) it
+// across all visits, and whether any visit had already lost exactness
+// (downstream of a synchrocell or after variant-set truncation).  A path
+// absent from in was never visited at all — its node is unreachable under
+// the analysed input type.
+type flowFacts struct {
+	in, out map[string]*varSet
+	inexact map[string]bool
+}
+
+func newFlowFacts() *flowFacts {
+	return &flowFacts{
+		in:      map[string]*varSet{},
+		out:     map[string]*varSet{},
+		inexact: map[string]bool{},
+	}
+}
+
+// record unions vs into the set at path, creating the (possibly empty)
+// entry so that "visited with zero variants" is distinguishable from "never
+// visited".
+func (f *flowFacts) record(m map[string]*varSet, path string, vs []Variant) {
+	s, ok := m[path]
+	if !ok {
+		s = newVarSet()
+		m[path] = s
+	}
+	for _, v := range vs {
+		s.add(v)
+	}
+}
+
+// variants returns the recorded variant list at path and whether the path
+// was visited.
+func (f *flowFacts) variants(m map[string]*varSet, path string) ([]Variant, bool) {
+	s, ok := m[path]
+	if !ok {
+		return nil, false
+	}
+	return s.list, true
+}
+
 // flowRoot runs the shape-flow pass from the given input type and settles
 // the deferred parallel-branch reachability findings.
 func (c *compiler) flowRoot(root Node, input RecType) {
@@ -64,8 +107,29 @@ func (c *compiler) flowRoot(root Node, input RecType) {
 // flow propagates the input variants through n, returning the output
 // variants and whether the analysis is still exact.  prefix is the parent
 // path including its trailing separator (as in compiler.walk).
+//
+// Beyond computing outputs, flow records per-path reachability facts (the
+// union of variants seen entering and leaving each node across every visit,
+// plus whether any visit was approximate) into c.facts — the raw material of
+// the post-compile liveness analysis in internal/analysis.  A star operand
+// is flowed once per fixpoint iteration and shared sub-nets appear at
+// several paths, so the facts are keyed by path and accumulated as unions.
 func (c *compiler) flow(n Node, in []Variant, prefix string, exact bool) ([]Variant, bool) {
 	path := prefix + n.name()
+	c.facts.record(c.facts.in, path, in)
+	if !exact {
+		// Input-side exactness only: a node whose *own* output is
+		// approximate (a synchrocell) still received an exact input, and
+		// verdicts about what reaches the node should say so.
+		c.facts.inexact[path] = true
+	}
+	out, e := c.flowNode(n, in, path, exact)
+	c.facts.record(c.facts.out, path, out)
+	return out, e
+}
+
+// flowNode dispatches on the node kind; path is the node's own path.
+func (c *compiler) flowNode(n Node, in []Variant, path string, exact bool) ([]Variant, bool) {
 	switch n := n.(type) {
 	case *boxNode:
 		return c.flowBox(n, in, path, exact), exact

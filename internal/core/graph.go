@@ -1,0 +1,128 @@
+package core
+
+// The structured graph API of a compiled Plan.
+//
+// Topology (plan.go) is the *serializable* view of the typed graph — strings
+// all the way down, built for JSON.  GraphNode is the *analyzable* view: the
+// same tree, but carrying the structured artifacts a static-analysis pass
+// needs (patterns as Pattern values, the underlying Node identity for
+// source-position mapping, split/star configuration) without exposing the
+// unexported node types themselves.  internal/analysis consumes it together
+// with the Flow* accessors below.
+
+// GraphNode is one node of the compiled network's structured graph.  Paths
+// and kinds match Topology exactly, so flow facts recorded by the compile
+// pass (FlowIn/FlowOut/FlowExact) can be looked up by Path.
+type GraphNode struct {
+	Kind string // box, filter, sync, observe, hide, serial, parallel, star, split, node
+	Name string
+	Path string
+	Det  bool
+
+	// Node is the underlying blueprint node — the identity front ends map
+	// back to source positions (cf. TypeError.Subject).
+	Node Node
+
+	In, Out RecType // accepted / produced variants (bottom-up signature)
+
+	BoxSig     *BoxSignature // box only
+	Filter     *FilterSpec   // filter only
+	Patterns   []Pattern     // sync only: the join patterns
+	Exit       *Pattern      // star only: the exit pattern
+	Tag        string        // split only: the index tag
+	Uncapped   bool          // split only: SessionSplit (width-fold exempt)
+	HiddenTags []string      // hide only: tags deleted from passing records
+
+	Children []*GraphNode
+}
+
+// Graph returns the structured graph of the compiled network.  The tree is
+// rebuilt per call (it is cheap — pure traversal); callers that walk it
+// repeatedly should hold on to the result.
+func (p *Plan) Graph() *GraphNode { return buildGraph(p.root, "") }
+
+func buildGraph(n Node, prefix string) *GraphNode {
+	path := prefix + n.name()
+	in, out := n.sig(nil)
+	g := &GraphNode{Name: n.name(), Path: path, Node: n, In: in, Out: out}
+	switch n := n.(type) {
+	case *boxNode:
+		g.Kind = "box"
+		g.BoxSig = n.boxSig
+	case *filterNode:
+		g.Kind = "filter"
+		g.Filter = n.spec
+	case *identityNode:
+		g.Kind = "observe"
+	case *hideNode:
+		g.Kind = "hide"
+		g.HiddenTags = append([]string(nil), n.tags...)
+	case *syncNode:
+		g.Kind = "sync"
+		g.Patterns = append([]Pattern(nil), n.patterns...)
+	case *serialNode:
+		g.Kind = "serial"
+		g.Children = []*GraphNode{
+			buildGraph(n.a, path+"/"),
+			buildGraph(n.b, path+"/"),
+		}
+	case *parallelNode:
+		g.Kind = "parallel"
+		g.Det = n.det
+		for i, b := range n.branches {
+			g.Children = append(g.Children, buildGraph(b, branchPrefix(path, i)))
+		}
+	case *starNode:
+		g.Kind = "star"
+		g.Det = n.det
+		exit := n.exit
+		g.Exit = &exit
+		g.Children = []*GraphNode{buildGraph(n.operand, path+"/operand/")}
+	case *splitNode:
+		g.Kind = "split"
+		g.Det = n.det
+		g.Tag = n.tag
+		g.Uncapped = n.uncapped
+		g.Children = []*GraphNode{buildGraph(n.operand, path+"/operand/")}
+	default:
+		g.Kind = "node"
+	}
+	return g
+}
+
+// FlowIn returns the union of variants the compile-time shape-flow pass saw
+// entering the node at path, and whether the pass visited that path at all.
+// An unvisited path means the node is unreachable under the analysed input
+// type; a visited path with zero variants means it was entered only with an
+// empty variant set (e.g. a split operand behind a total missing-tag
+// rejection).
+func (p *Plan) FlowIn(path string) ([]Variant, bool) {
+	if p.facts == nil {
+		return nil, false
+	}
+	return p.facts.variants(p.facts.in, path)
+}
+
+// FlowOut is FlowIn for the variants leaving the node.  For a star node the
+// out set is the exit set: variants that satisfy the exit pattern and leave
+// the chain.
+func (p *Plan) FlowOut(path string) ([]Variant, bool) {
+	if p.facts == nil {
+		return nil, false
+	}
+	return p.facts.variants(p.facts.out, path)
+}
+
+// FlowExact reports whether every flow visit delivered an exact variant set
+// *to* path (input-side exactness).  Downstream of a synchrocell (whose
+// merged output depends on runtime contents) or after variant-set
+// truncation the recorded sets are approximate, and findings derived from
+// them should be presented as imprecise.  Unvisited paths report true;
+// callers reasoning about unreached nodes should consult the nearest
+// visited ancestor.
+func (p *Plan) FlowExact(path string) bool {
+	if p.facts == nil {
+		return false
+	}
+	return !p.facts.inexact[path]
+}

@@ -140,6 +140,7 @@ type Plan struct {
 	warnings []Diagnostic
 	typeErrs []*TypeError
 	topo     *Topology
+	facts    *flowFacts
 }
 
 // Compile type-checks the network and precomputes its routing artifacts.
@@ -168,6 +169,7 @@ func Compile(root Node, opts ...CompileOption) (*Plan, error) {
 	c.flowRoot(root, seed)
 	p.warnings = append(p.warnings, c.warns...)
 	p.typeErrs = c.errs
+	p.facts = c.facts
 	if len(c.errs) > 0 {
 		return p, &CompileError{Errors: c.errs}
 	}
@@ -245,6 +247,10 @@ type compiler struct {
 	parPath    map[*parallelNode]string
 	parFed     map[*parallelNode]bool
 	parInexact map[*parallelNode]bool
+
+	// facts is the per-path reachability trace the flow pass leaves behind
+	// for internal/analysis (see flowFacts).
+	facts *flowFacts
 }
 
 func newCompiler() *compiler {
@@ -254,6 +260,7 @@ func newCompiler() *compiler {
 		parPath:    map[*parallelNode]string{},
 		parFed:     map[*parallelNode]bool{},
 		parInexact: map[*parallelNode]bool{},
+		facts:      newFlowFacts(),
 	}
 }
 

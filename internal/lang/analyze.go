@@ -1,0 +1,39 @@
+package lang
+
+import (
+	"errors"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+)
+
+// AnalyzeNet is CompileNet followed by the graph-level static analysis: it
+// builds the named net, compiles it, decorates both the TypeErrors and the
+// analysis Findings with .snet source positions (via the builder's node→Pos
+// index), and returns the plan, the lint report, and the compile error (nil
+// when the net type-checks).  The report is always non-nil when err is a
+// *core.CompileError or nil — analysis runs even on plans with type errors.
+func AnalyzeNet(prog *Program, netName string, reg *Registry, opts ...core.CompileOption) (*core.Plan, *analysis.Report, error) {
+	b, err := BuildNet(prog, netName, reg)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, cerr := core.Compile(b.Node, opts...)
+	if cerr != nil {
+		var ce *core.CompileError
+		if errors.As(cerr, &ce) {
+			for _, te := range ce.Errors {
+				if pos, ok := b.Positions[te.Subject()]; ok {
+					te.Pos = pos.String()
+				}
+			}
+		}
+	}
+	rep := analysis.Analyze(plan)
+	for _, f := range rep.Findings {
+		if pos, ok := b.Positions[f.Subject()]; ok {
+			f.Pos = pos.String()
+		}
+	}
+	return plan, rep, cerr
+}

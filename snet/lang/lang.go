@@ -58,4 +58,10 @@ var (
 	// decorating every TypeError with its .snet source position — the
 	// static-diagnostics path of snetrun -check and snetd startup.
 	CompileNet = internal.CompileNet
+	// AnalyzeNet is CompileNet followed by the graph-level static analysis
+	// (internal/analysis): the returned report's Findings — sync
+	// starvation, dead arms, star divergence, unbounded splits, marker
+	// hazards — carry node paths and .snet source positions.  The lint
+	// path of snetrun -check -lint and snetd registration logging.
+	AnalyzeNet = internal.AnalyzeNet
 )
