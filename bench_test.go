@@ -7,6 +7,7 @@ package repro_test
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -463,4 +464,146 @@ func BenchmarkE19WebPipe(b *testing.B) {
 			}
 		}
 	})
+}
+
+// drainHandle shuts a persistent benchmark handle down gracefully: close the
+// input, drain the in-flight records, wait.  Cancel would strand pooled
+// records in stream buffers and skew the arena ledger for later tests in the
+// same binary.
+func drainHandle(h *snet.Handle) {
+	h.Close()
+	for range h.Out() {
+	}
+	h.Wait()
+}
+
+// benchRecordPlanePipeline streams records through the E13 deep tap pipeline
+// over one persistent handle, ping-ponging a fixed in-flight population: the
+// record received from the output is sent straight back in.  Taps forward
+// records untouched and frames recycle through the slab arena, so the
+// steady state is allocation-free — the record-plane target the slot-array
+// refactor set.
+func benchRecordPlanePipeline(b *testing.B) {
+	const depth, inflight = 32, 64
+	stages := make([]snet.Node, depth)
+	for i := range stages {
+		stages[i] = snet.Observe(fmt.Sprintf("tap%d", i), nil)
+	}
+	h := snet.Start(context.Background(), snet.Serial(stages...),
+		snet.WithBoxWorkers(1), snet.WithStreamBatch(8))
+	defer drainHandle(h)
+	for i := 0; i < inflight; i++ {
+		if err := h.Send(snet.NewRecord().SetTag("n", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Warm laps prime every stream's slab and pool population; the forced
+	// collection in between takes the sync.Pool clear a GC would otherwise
+	// inflict mid-measurement (the measured loop is allocation-free, so no
+	// further collection triggers).
+	warmLap := func() {
+		for i := 0; i < inflight; i++ {
+			r, ok := <-h.Out()
+			if !ok {
+				b.Fatal("output closed during warmup")
+			}
+			if err := h.Send(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	warmLap()
+	runtime.GC()
+	warmLap()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, ok := <-h.Out()
+		if !ok {
+			b.Fatal("output closed")
+		}
+		if err := h.Send(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+}
+
+// benchRecordPlaneRouting drives the E16 routing shape — a wide Parallel of
+// per-branch filters — terminated by a sink box, so every pooled filter
+// output is released inside the network and the arena runs as a closed
+// loop: the filter acquires what the sink releases.  Inputs are a fixed
+// caller-owned population resent round-robin (filters copy, never mutate).
+func benchRecordPlaneRouting(b *testing.B) {
+	const width, population = 16, 256
+	branches := make([]snet.Node, width)
+	for i := range branches {
+		branches[i] = snet.MustFilter(fmt.Sprintf("{a,x%d} -> {a,x%d}", i, i))
+	}
+	sink := snet.NewBox("sink", snet.MustParseSignature("(a) -> (a)"),
+		func([]any, *snet.Emitter) error { return nil })
+	h := snet.Start(context.Background(),
+		snet.Serial(snet.Parallel(branches...), sink),
+		snet.WithBoxWorkers(1), snet.WithStreamBatch(8))
+	defer drainHandle(h)
+	inputs := make([]*snet.Record, population)
+	for i := range inputs {
+		inputs[i] = snet.NewRecord().SetField("a", i).
+			SetField(fmt.Sprintf("x%d", i%width), i)
+	}
+	warmLap := func() { // warm the routing memos and the arena
+		for _, r := range inputs {
+			if err := h.Send(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for lap := 0; lap < 4; lap++ {
+		warmLap()
+	}
+	runtime.GC() // absorb the pool-clearing collection outside the window
+	for lap := 0; lap < 16; lap++ {
+		warmLap() // refill the in-flight arena population
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.Send(inputs[i%population]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+}
+
+// BenchmarkRecordPlane — E21: the zero-allocation record plane in steady
+// state.  CI runs the companion TestRecordPlaneZeroAlloc, which asserts
+// 0 allocs/op on both shapes.
+func BenchmarkRecordPlane(b *testing.B) {
+	b.Run("pipeline", benchRecordPlanePipeline)
+	b.Run("routing", benchRecordPlaneRouting)
+}
+
+// TestRecordPlaneZeroAlloc is the enforced form of the benchmark: the
+// record plane must move records without allocating once the arenas are
+// warm.  A regression here means a new per-record allocation crept into
+// the transport, the routing tables, or the filter/arena loop.
+func TestRecordPlaneZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("allocation counts include race-detector bookkeeping; run without -race")
+	}
+	for _, c := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"pipeline", benchRecordPlanePipeline},
+		{"routing", benchRecordPlaneRouting},
+	} {
+		res := testing.Benchmark(c.fn)
+		if a := res.AllocsPerOp(); a != 0 {
+			t.Errorf("%s: %d allocs/op (%d B/op), want 0", c.name, a, res.AllocedBytesPerOp())
+		}
+	}
 }

@@ -49,7 +49,7 @@ func logFindings(name string, rep *analysis.Report) {
 type boardCodec struct{}
 
 func (boardCodec) Decode(w service.RecordJSON) (*snet.Record, error) {
-	r := snet.NewRecord()
+	r := snet.AcquireRecord()
 	for k, v := range w.Tags {
 		r.SetTag(k, v)
 	}
@@ -57,6 +57,7 @@ func (boardCodec) Decode(w service.RecordJSON) (*snet.Record, error) {
 		if k == "board" {
 			b, err := sudoku.Parse(v)
 			if err != nil {
+				snet.ReleaseRecord(r)
 				return nil, err
 			}
 			r.SetField("board", b)

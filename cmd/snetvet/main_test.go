@@ -80,6 +80,32 @@ func TestReservedLitFindsSeededViolations(t *testing.T) {
 	}
 }
 
+// TestRecordRetainFindsSeededViolations checks the arena-discipline
+// analyzer: use-after-release, double release, mutate-after-emit and
+// release-after-route are flagged; reassignment and branch-local drop
+// paths are not.
+func TestRecordRetainFindsSeededViolations(t *testing.T) {
+	code, _, stderr := runVet(t, "testdata/src/recordretain")
+	if code != 2 {
+		t.Fatalf("want exit 2, got %d:\n%s", code, stderr)
+	}
+	lines := nonEmptyLines(stderr)
+	if len(lines) != 4 {
+		t.Fatalf("want 4 findings, got %d:\n%s", len(lines), stderr)
+	}
+	wants := []string{
+		"used after release",
+		"used after release",
+		"after emit",
+		"released after emit",
+	}
+	for i, l := range lines {
+		if !strings.Contains(l, wants[i]) {
+			t.Errorf("finding %d: want %q in %s", i, wants[i], l)
+		}
+	}
+}
+
 // TestJSONOutput checks the unitchecker-compatible JSON form: exit 0, all
 // findings keyed by unit then analyzer.
 func TestJSONOutput(t *testing.T) {

@@ -1,0 +1,287 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// ------------------------------------------------------------ recordretain
+
+// recordretain checks the arena ownership discipline of the record plane
+// (internal/core/arena.go): a record handed to releaseRecord/ReleaseRecord/
+// disownRecord has returned to the pool — any later use of the same
+// variable in the same block is a use-after-free of the arena (a double
+// release included); and a record emitted downstream (sendRecord, or routed
+// through a fanout port) is owned by its consumer — mutating or releasing
+// it afterwards races with that consumer.
+//
+// The analysis is a linear scan per statement list, the same discipline as
+// streamdiscard: state does not escape branch bodies (a release followed by
+// continue/return inside an if is the normal drop-path idiom), and an
+// assignment to the variable makes it live again.
+var recordretainAnalyzer = &analyzer{
+	name: "recordretain",
+	doc:  "forbid using a record after releasing it, or mutating one after emitting it",
+	run: func(u *unit) []diagnostic {
+		var diags []diagnostic
+		for _, f := range u.files {
+			if strings.HasSuffix(u.filename(f), "_test.go") {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					body = n.Body
+				case *ast.FuncLit:
+					body = n.Body
+				}
+				if body == nil {
+					return true
+				}
+				w := &retainWalker{u: u}
+				w.block(body.List, map[string]string{})
+				diags = append(diags, w.diags...)
+				return true
+			})
+		}
+		return diags
+	},
+}
+
+type retainWalker struct {
+	u     *unit
+	diags []diagnostic
+}
+
+// releaseFuncs hand a record back to the arena; emitMutators mutate the
+// record they are invoked on.
+var releaseFuncs = map[string]bool{
+	"releaseRecord": true, "ReleaseRecord": true, "disownRecord": true,
+}
+var recordMutators = map[string]bool{
+	"SetField": true, "SetTag": true, "DeleteField": true, "DeleteTag": true,
+}
+
+// block scans one statement list.  dead maps a variable name to how it was
+// given away ("released" or "emitted"); branch bodies get a copy, and their
+// own transfers do not leak back out.
+func (w *retainWalker) block(list []ast.Stmt, dead map[string]string) {
+	for _, s := range list {
+		w.checkStmt(s, dead)
+		switch s := s.(type) {
+		case *ast.IfStmt:
+			w.block(s.Body.List, copyState(dead))
+			switch el := s.Else.(type) {
+			case *ast.BlockStmt:
+				w.block(el.List, copyState(dead))
+			case *ast.IfStmt:
+				w.block([]ast.Stmt{el}, copyState(dead))
+			}
+		case *ast.ForStmt:
+			w.block(s.Body.List, copyState(dead))
+		case *ast.RangeStmt:
+			w.block(s.Body.List, copyState(dead))
+		case *ast.BlockStmt:
+			w.block(s.List, copyState(dead))
+		case *ast.LabeledStmt:
+			w.block([]ast.Stmt{s.Stmt}, dead)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					w.block(cc.Body, copyState(dead))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					w.block(cc.Body, copyState(dead))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					w.block(cc.Body, copyState(dead))
+				}
+			}
+		}
+		w.updateState(s, dead)
+	}
+}
+
+func copyState(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// checkStmt reports uses of dead variables in the statement itself, not its
+// nested blocks (those are scanned with their own state copy).  Only the
+// statement's own expressions are inspected: for an if/for this is the
+// init/condition, for everything else the whole statement.
+func (w *retainWalker) checkStmt(s ast.Stmt, dead map[string]string) {
+	if len(dead) == 0 {
+		return
+	}
+	var exprs []ast.Node
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			exprs = append(exprs, s.Init)
+		}
+		exprs = append(exprs, s.Cond)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			exprs = append(exprs, s.Init)
+		}
+		if s.Cond != nil {
+			exprs = append(exprs, s.Cond)
+		}
+	case *ast.RangeStmt:
+		exprs = append(exprs, s.X)
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			exprs = append(exprs, s.Tag)
+		}
+	case *ast.AssignStmt:
+		// A plain identifier on the left is written, not used; anything
+		// else (rec.field, slice[i]) still reads its base.
+		for _, e := range s.Rhs {
+			exprs = append(exprs, e)
+		}
+		for _, lhs := range s.Lhs {
+			if _, ok := lhs.(*ast.Ident); !ok {
+				exprs = append(exprs, lhs)
+			}
+		}
+	case *ast.BlockStmt, *ast.LabeledStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// handled structurally by block()
+	default:
+		exprs = append(exprs, s)
+	}
+	for _, e := range exprs {
+		w.checkUses(e, dead)
+	}
+}
+
+// checkUses flags references to dead variables inside one expression or
+// simple statement, skipping nested function literals (their bodies run
+// later, under their own scan).
+func (w *retainWalker) checkUses(root ast.Node, dead map[string]string) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.Ident:
+			how, isDead := dead[n.Name]
+			if !isDead {
+				return true
+			}
+			if how == "released" {
+				w.diags = append(w.diags, diagnostic{
+					analyzer: "recordretain",
+					pos:      w.u.fset.Position(n.Pos()),
+					msg: fmt.Sprintf("%s used after release: the record has returned to the arena",
+						n.Name),
+				})
+			}
+		case *ast.CallExpr:
+			// Mutation of an emitted record: rec.SetTag(...) etc., or a
+			// release after the consumer already owns it.
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if ok {
+				if id, ok := sel.X.(*ast.Ident); ok && dead[id.Name] == "emitted" && recordMutators[sel.Sel.Name] {
+					w.diags = append(w.diags, diagnostic{
+						analyzer: "recordretain",
+						pos:      w.u.fset.Position(n.Pos()),
+						msg: fmt.Sprintf("%s.%s after emit: the consumer owns the record now",
+							id.Name, sel.Sel.Name),
+					})
+					return false
+				}
+			}
+			if name, arg := transferCall(n); name != "" && arg != "" && dead[arg] == "emitted" && releaseFuncs[name] {
+				w.diags = append(w.diags, diagnostic{
+					analyzer: "recordretain",
+					pos:      w.u.fset.Position(n.Pos()),
+					msg: fmt.Sprintf("%s released after emit: the consumer owns the record now",
+						arg),
+				})
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// updateState applies one statement's ownership transfers and assignments
+// to the scan state.
+func (w *retainWalker) updateState(s ast.Stmt, dead map[string]string) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if name, arg := transferCall(call); arg != "" {
+				if releaseFuncs[name] {
+					dead[arg] = "released"
+				} else if name == "sendRecord" || name == "route" {
+					dead[arg] = "emitted"
+				}
+			}
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				delete(dead, id.Name)
+			}
+		}
+	case *ast.IfStmt:
+		// `if !f.route(port, rec) { break }` — the transfer is in the
+		// condition; it holds for the statements after the if.
+		ast.Inspect(s.Cond, func(n ast.Node) bool {
+			if n, ok := n.(*ast.FuncLit); ok {
+				_ = n
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if name, arg := transferCall(call); arg != "" && (name == "sendRecord" || name == "route") {
+					dead[arg] = "emitted"
+				}
+			}
+			return true
+		})
+	}
+}
+
+// transferCall recognizes the ownership-transferring calls:
+// releaseRecord(rec) / ReleaseRecord(rec) / disownRecord(rec) (bare or
+// pkg-qualified), w.sendRecord(rec), and f.route(port, rec).  It returns
+// the call's name and the record argument's identifier, or "".
+func transferCall(call *ast.CallExpr) (name, arg string) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return "", ""
+	}
+	argPos := 0
+	switch {
+	case releaseFuncs[name], name == "sendRecord":
+		argPos = 0
+	case name == "route":
+		argPos = 1
+	default:
+		return "", ""
+	}
+	if len(call.Args) <= argPos {
+		return name, ""
+	}
+	if id, ok := call.Args[argPos].(*ast.Ident); ok {
+		return name, id.Name
+	}
+	return name, ""
+}

@@ -1,0 +1,73 @@
+// Package recordretain seeds violations of the arena ownership discipline:
+// a record used after release, a double release, and a record mutated after
+// it was emitted downstream.  The ok* functions exercise the patterns the
+// analyzer must NOT flag.
+package recordretain
+
+type record struct{}
+
+func (*record) SetTag(string, int) *record { return nil }
+func (*record) String() string             { return "" }
+
+type writer struct{}
+
+func (*writer) sendRecord(*record) bool { return true }
+
+type port struct{}
+
+type fanout struct{}
+
+func (*fanout) route(*port, *record) bool { return true }
+
+func releaseRecord(*record) {}
+
+func acquireRecord() *record { return &record{} }
+
+func useAfterRelease(rec *record) string {
+	releaseRecord(rec)
+	return rec.String() // want: used after release
+}
+
+func doubleRelease(rec *record) {
+	releaseRecord(rec)
+	releaseRecord(rec) // want: used after release
+}
+
+func mutateAfterEmit(w *writer, rec *record) {
+	w.sendRecord(rec)
+	rec.SetTag("n", 1) // want: mutated after emit
+}
+
+func releaseAfterRoute(f *fanout, p *port, rec *record) {
+	if !f.route(p, rec) {
+		return
+	}
+	releaseRecord(rec) // want: released after emit
+}
+
+func okReassigned(rec *record) string {
+	releaseRecord(rec)
+	rec = acquireRecord()
+	return rec.String() // rec is live again
+}
+
+func okDropPath(recs []*record, bad bool) {
+	for _, rec := range recs {
+		if bad {
+			releaseRecord(rec)
+			continue
+		}
+		_ = rec.String() // the release above did not execute on this path
+	}
+}
+
+func okReleaseLoop(recs []*record) {
+	// Each iteration releases its own variable; state must not leak
+	// across iterations.
+	for _, rec := range recs {
+		releaseRecord(rec)
+	}
+	for _, rec := range recs {
+		_ = rec
+	}
+}

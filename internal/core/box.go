@@ -54,11 +54,12 @@ func (e *Emitter) Out(variant int, vals ...any) error {
 		return fmt.Errorf("core: box %s: snet_out variant %d needs %d values, got %d",
 			e.box.label, variant, len(labels), len(vals))
 	}
-	rec := NewRecord()
+	rec := acquireRecord()
 	for i, l := range labels {
 		if l.IsTag {
 			tv, ok := vals[i].(int)
 			if !ok {
+				releaseRecord(rec)
 				return fmt.Errorf("core: box %s: value for tag <%s> must be int, got %T",
 					e.box.label, l.Name, vals[i])
 			}
@@ -96,6 +97,24 @@ type boxNode struct {
 	boxSig  *BoxSignature
 	fn      BoxFunc
 	workers int // fixed invocation width; 0 inherits the run's WithBoxWorkers
+	keys    boxStatKeys
+}
+
+// boxStatKeys are the node's stat-counter keys, concatenated once at
+// construction so the per-invocation accounting never builds a string.
+type boxStatKeys struct {
+	instances, concurrency, inflight    string
+	calls, emitted, cancelled, rejected string
+	panics                              string
+}
+
+func makeBoxStatKeys(label string) boxStatKeys {
+	p := "box." + label + "."
+	return boxStatKeys{
+		instances: p + "instances", concurrency: p + "concurrency", inflight: p + "inflight",
+		calls: p + "calls", emitted: p + "emitted", cancelled: p + "cancelled",
+		rejected: p + "rejected", panics: p + "panics",
+	}
 }
 
 // NewBox declares a box with the given name, signature and function —
@@ -124,7 +143,8 @@ func NewBoxConcurrent(name string, sig *BoxSignature, fn BoxFunc, workers int) N
 	if workers < 0 {
 		workers = 0
 	}
-	return &boxNode{label: name, boxSig: sig, fn: fn, workers: workers}
+	return &boxNode{label: name, boxSig: sig, fn: fn, workers: workers,
+		keys: makeBoxStatKeys(name)}
 }
 
 func (b *boxNode) name() string   { return b.label }
@@ -153,10 +173,15 @@ func (b *boxNode) run(env *runEnv, in *streamReader, out *streamWriter) {
 	}
 	defer out.close()
 	in.autoFlush(out)
-	env.stats.Add("box."+b.label+".instances", 1)
-	env.stats.SetMax("box."+b.label+".concurrency", 1)
+	env.stats.Add(b.keys.instances, 1)
+	env.stats.SetMax(b.keys.concurrency, 1)
 	consumed := NewVariant(b.boxSig.In...)
 	invoked := false
+	// One emitter and one argument buffer serve every invocation of this
+	// instance: box functions must not retain either after returning (the
+	// BoxFunc contract), so the loop resets rather than reallocates.
+	em := &Emitter{env: env, out: out, box: b, consumed: consumed}
+	argsBuf := make([]any, 0, len(b.boxSig.In))
 	for {
 		it, ok := in.recv()
 		if !ok {
@@ -171,21 +196,27 @@ func (b *boxNode) run(env *runEnv, in *streamReader, out *streamWriter) {
 		}
 		rec := it.rec
 		env.trace(b.label, "in", rec)
-		args, ok := b.bindArgs(rec)
+		args, ok := b.bindArgs(rec, argsBuf)
 		if !ok {
 			env.error(fmt.Errorf("core: box %s: input record %s does not match signature %s",
 				b.label, rec, b.boxSig))
-			env.stats.Add("box."+b.label+".rejected", 1)
+			env.stats.Add(b.keys.rejected, 1)
+			releaseRecord(rec)
 			continue
 		}
 		if !invoked {
 			// The observed in-flight high-water mark is 1 by construction
 			// here; record it so the key exists at any width.
-			env.stats.SetMax("box."+b.label+".inflight", 1)
+			env.stats.SetMax(b.keys.inflight, 1)
 			invoked = true
 		}
-		em := &Emitter{env: env, out: out, box: b, src: rec, consumed: consumed}
+		em.src, em.stopped, em.emitted = rec, false, 0
 		b.invoke(env, args, em)
+		em.src = nil
+		// The invocation is over: the input record was consumed (its values
+		// were bound into args or flow-inherited into fresh outputs), so it
+		// returns to the arena before the next receive.
+		releaseRecord(rec)
 		b.account(env, em)
 		if em.stopped || ctxDone(env.ctx) {
 			in.Discard()
@@ -203,13 +234,13 @@ func (b *boxNode) run(env *runEnv, in *streamReader, out *streamWriter) {
 // transport's own "stream.records" counter retracts those; see ship).
 func (b *boxNode) account(env *runEnv, em *Emitter) {
 	if em.emitted > 0 {
-		env.stats.Add("box."+b.label+".emitted", int64(em.emitted))
+		env.stats.Add(b.keys.emitted, int64(em.emitted))
 	}
 	if em.stopped {
-		env.stats.Add("box."+b.label+".cancelled", 1)
+		env.stats.Add(b.keys.cancelled, 1)
 		return
 	}
-	env.stats.Add("box."+b.label+".calls", 1)
+	env.stats.Add(b.keys.calls, 1)
 }
 
 // invoke runs the box function with panic isolation: a panicking box loses
@@ -219,7 +250,7 @@ func (b *boxNode) invoke(env *runEnv, args []any, em *Emitter) {
 	defer func() {
 		if r := recover(); r != nil {
 			env.error(fmt.Errorf("core: box %s panicked: %v", b.label, r))
-			env.stats.Add("box."+b.label+".panics", 1)
+			env.stats.Add(b.keys.panics, 1)
 		}
 	}()
 	if err := b.fn(args, em); err != nil && !errors.Is(err, ErrCancelled) {
@@ -227,22 +258,24 @@ func (b *boxNode) invoke(env *runEnv, args []any, em *Emitter) {
 	}
 }
 
-// bindArgs extracts the signature-ordered argument values from a record.
-func (b *boxNode) bindArgs(rec *Record) ([]any, bool) {
-	args := make([]any, len(b.boxSig.In))
-	for i, l := range b.boxSig.In {
+// bindArgs extracts the signature-ordered argument values from a record into
+// buf (reused across invocations on the sequential path; pass nil to
+// allocate).  Box functions must not retain the returned slice.
+func (b *boxNode) bindArgs(rec *Record, buf []any) ([]any, bool) {
+	args := buf[:0]
+	for _, l := range b.boxSig.In {
 		if l.IsTag {
 			v, ok := rec.Tag(l.Name)
 			if !ok {
 				return nil, false
 			}
-			args[i] = v
+			args = append(args, v)
 		} else {
 			v, ok := rec.Field(l.Name)
 			if !ok {
 				return nil, false
 			}
-			args[i] = v
+			args = append(args, v)
 		}
 	}
 	return args, true

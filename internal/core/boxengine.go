@@ -54,8 +54,8 @@ type boxCall struct {
 
 func (b *boxNode) runConcurrent(env *runEnv, in *streamReader, out *streamWriter, width int) {
 	defer out.close()
-	env.stats.Add("box."+b.label+".instances", 1)
-	env.stats.SetMax("box."+b.label+".concurrency", int64(width))
+	env.stats.Add(b.keys.instances, 1)
+	env.stats.SetMax(b.keys.concurrency, int64(width))
 	consumed := NewVariant(b.boxSig.In...)
 
 	var (
@@ -71,11 +71,13 @@ func (b *boxNode) runConcurrent(env *runEnv, in *streamReader, out *streamWriter
 	worker := func() {
 		defer wg.Done()
 		for c := range calls {
-			env.stats.SetMax("box."+b.label+".inflight", inflight.Add(1))
+			env.stats.SetMax(b.keys.inflight, inflight.Add(1))
 			em := &Emitter{env: env, out: c.emitW, box: b, src: c.rec, consumed: consumed}
 			b.invoke(env, c.args, em)
 			inflight.Add(-1)
-			c.slot.em = em // published by the close below
+			em.src = nil
+			releaseRecord(c.rec) // the invocation consumed its input
+			c.slot.em = em       // published by the close below
 			c.emitW.close()
 		}
 	}
@@ -138,12 +140,12 @@ func (b *boxNode) runConcurrent(env *runEnv, in *streamReader, out *streamWriter
 				s.emit.Discard()
 			}
 			if delivered > 0 {
-				env.stats.Add("box."+b.label+".emitted", int64(delivered))
+				env.stats.Add(b.keys.emitted, int64(delivered))
 			}
 			if completed {
-				env.stats.Add("box."+b.label+".calls", 1)
+				env.stats.Add(b.keys.calls, 1)
 			} else {
-				env.stats.Add("box."+b.label+".cancelled", 1)
+				env.stats.Add(b.keys.cancelled, 1)
 			}
 		}
 	}()
@@ -191,11 +193,12 @@ func (b *boxNode) runConcurrent(env *runEnv, in *streamReader, out *streamWriter
 		}
 		rec := it.rec
 		env.trace(b.label, "in", rec)
-		args, ok := b.bindArgs(rec)
+		args, ok := b.bindArgs(rec, nil)
 		if !ok {
 			env.error(fmt.Errorf("core: box %s: input record %s does not match signature %s",
 				b.label, rec, b.boxSig))
-			env.stats.Add("box."+b.label+".rejected", 1)
+			env.stats.Add(b.keys.rejected, 1)
+			releaseRecord(rec)
 			continue
 		}
 		emitR, emitW := newStream(env)
@@ -207,6 +210,7 @@ func (b *boxNode) runConcurrent(env *runEnv, in *streamReader, out *streamWriter
 			// Cancelled between queueing the slot and handing the call to
 			// a worker; the releaser's recv is cancellation-aware, so the
 			// never-filled slot cannot wedge it.
+			releaseRecord(rec)
 			break
 		}
 	}

@@ -10,6 +10,9 @@ type filterNode struct {
 	// filter's slice of the compile-then-run match tables.  A pure function
 	// of the spec, shared by every run.
 	memo *matchMemo
+	// Stat keys, concatenated once so per-record accounting never builds a
+	// string.
+	kNomatch, kErrors, kApplied string
 }
 
 // NewFilter wraps a filter specification as a node.  Records matching the
@@ -21,8 +24,12 @@ func NewFilter(spec *FilterSpec) Node {
 	if spec == nil {
 		panic("core: NewFilter: nil spec")
 	}
-	return &filterNode{label: autoName("filter"), spec: spec,
-		memo: newMatchMemo(spec.Pattern.Variant)}
+	label := autoName("filter")
+	return &filterNode{label: label, spec: spec,
+		memo:     newMatchMemo(spec.Pattern.Variant),
+		kNomatch: "filter." + label + ".nomatch",
+		kErrors:  "filter." + label + ".errors",
+		kApplied: "filter." + label + ".applied"}
 }
 
 // FilterFrom parses a filter in the paper's notation and wraps it as a node.
@@ -68,6 +75,7 @@ func (f *filterNode) score(rec *Record) int {
 func (f *filterNode) run(env *runEnv, in *streamReader, out *streamWriter) {
 	defer out.close()
 	in.autoFlush(out)
+	var outsBuf []*Record // reused across records; outputs leave via send
 	for {
 		it, ok := in.recv()
 		if !ok {
@@ -83,23 +91,35 @@ func (f *filterNode) run(env *runEnv, in *streamReader, out *streamWriter) {
 		rec := it.rec
 		env.trace(f.label, "in", rec)
 		if !f.matches(rec) {
-			env.stats.Add("filter."+f.label+".nomatch", 1)
+			env.stats.Add(f.kNomatch, 1)
 			if !out.send(it) {
 				in.Discard()
 				return
 			}
 			continue
 		}
-		outs, err := f.spec.Apply(rec)
+		outs, err := f.spec.applyInto(rec, outsBuf, true)
 		if err != nil {
 			env.error(fmt.Errorf("core: filter %s: %w", f.label, err))
-			env.stats.Add("filter."+f.label+".errors", 1)
+			env.stats.Add(f.kErrors, 1)
+			releaseRecord(rec) // dropped, not forwarded
 			continue
 		}
-		env.stats.Add("filter."+f.label+".applied", 1)
-		for _, o := range outs {
+		if outs != nil {
+			outsBuf = outs
+		}
+		env.stats.Add(f.kApplied, 1)
+		// The input was consumed: its labels were rewritten or inherited into
+		// fresh outputs, never aliased, so it returns to the arena now.
+		releaseRecord(rec)
+		for i, o := range outs {
 			env.trace(f.label, "out", o)
 			if !out.sendRecord(o) {
+				// The failed record was already reclaimed by the transport's
+				// cancellation path; outputs never handed to it are ours.
+				for _, rest := range outs[i+1:] {
+					releaseRecord(rest)
+				}
 				in.Discard()
 				return
 			}

@@ -76,16 +76,38 @@ func (f *FilterSpec) OutType() RecType {
 // Apply builds the output records for one matching input record.  It
 // returns an error when a tag expression cannot be evaluated.
 func (f *FilterSpec) Apply(rec *Record) ([]*Record, error) {
-	outs := make([]*Record, 0, len(f.Outputs))
+	return f.applyInto(rec, nil, false)
+}
+
+// applyInto is Apply with the runtime's resource discipline: outputs go into
+// dst (reused across records by the filter node's run loop) and, when pooled
+// is set, output records come from the record arena.  On error every
+// already-built pooled output is returned to the arena.
+func (f *FilterSpec) applyInto(rec *Record, dst []*Record, pooled bool) ([]*Record, error) {
+	outs := dst[:0]
+	fail := func(err error) ([]*Record, error) {
+		if pooled {
+			for _, o := range outs {
+				releaseRecord(o)
+			}
+		}
+		return nil, err
+	}
 	for _, items := range f.Outputs {
-		o := NewRecord()
+		var o *Record
+		if pooled {
+			o = acquireRecord()
+		} else {
+			o = NewRecord()
+		}
+		outs = append(outs, o)
 		for _, it := range items {
 			if it.IsTag {
 				switch {
 				case it.Expr != nil:
-					v, err := it.Expr.Eval(rec.tagEnv())
+					v, err := evalTagRec(it.Expr, rec)
 					if err != nil {
-						return nil, fmt.Errorf("filter %s: %w", f, err)
+						return fail(fmt.Errorf("filter %s: %w", f, err))
 					}
 					o.SetTag(it.Name, v)
 				default:
@@ -99,12 +121,11 @@ func (f *FilterSpec) Apply(rec *Record) ([]*Record, error) {
 			}
 			v, ok := rec.Field(it.Src)
 			if !ok {
-				return nil, fmt.Errorf("filter %s: input record %s has no field %q", f, rec, it.Src)
+				return fail(fmt.Errorf("filter %s: input record %s has no field %q", f, rec, it.Src))
 			}
 			o.SetField(it.Name, v)
 		}
 		inheritInto(o, rec, f.Pattern.Variant)
-		outs = append(outs, o)
 	}
 	return outs, nil
 }
@@ -113,22 +134,20 @@ func (f *FilterSpec) Apply(rec *Record) ([]*Record, error) {
 // consumed (not in the consumed variant) is copied to dst unless dst already
 // carries the label.
 func inheritInto(dst, src *Record, consumed Variant) {
-	for name, v := range src.fields {
+	for i, name := range src.shape.fieldNames {
 		if consumed.Has(Field(name)) {
 			continue
 		}
-		if _, ok := dst.fields[name]; !ok {
-			dst.fields[name] = v
-			dst.shape = ""
+		if _, ok := dst.shape.fieldSlot(name); !ok {
+			dst.SetField(name, src.fvals[i])
 		}
 	}
-	for name, v := range src.tags {
+	for i, name := range src.shape.tagNames {
 		if consumed.Has(Tag(name)) {
 			continue
 		}
-		if _, ok := dst.tags[name]; !ok {
-			dst.tags[name] = v
-			dst.shape = ""
+		if _, ok := dst.shape.tagSlot(name); !ok {
+			dst.SetTag(name, src.tvals[i])
 		}
 	}
 }

@@ -76,6 +76,9 @@ func Start(ctx context.Context, root Node, opts ...Option) *Handle {
 			if it.mk != nil {
 				continue // markers are spent at the network boundary
 			}
+			// The record crosses into user code here: it leaves the arena's
+			// domain for good (the user owns it, the GC reclaims it).
+			disownRecord(it.rec)
 			select {
 			case h.outRec <- it.rec:
 			case <-ctx.Done():

@@ -17,6 +17,12 @@ type parallelNode struct {
 	det      bool
 	branches []Node
 
+	// Per-branch routing counters and the unroutable key, concatenated once
+	// at construction: dispatch accounting is per record and must not build
+	// strings.
+	branchKeys  []string
+	kUnroutable string
+
 	// table is the node's compiled dispatch table — a pure function of the
 	// branch list (accepted types and guards), never of a run, so it is
 	// cached on the node and shared by every run: built eagerly by Compile,
@@ -45,7 +51,13 @@ func newParallel(det bool, branches []Node) Node {
 	if len(branches) < 2 {
 		panic("core: parallel composition needs at least two branches")
 	}
-	return &parallelNode{label: autoName("parallel"), det: det, branches: branches}
+	label := autoName("parallel")
+	keys := make([]string, len(branches))
+	for i := range branches {
+		keys[i] = fmt.Sprintf("parallel.%s.branch%d", label, i)
+	}
+	return &parallelNode{label: label, det: det, branches: branches,
+		branchKeys: keys, kUnroutable: "parallel." + label + ".unroutable"}
 }
 
 func (n *parallelNode) name() string { return n.label }
@@ -135,10 +147,11 @@ func (n *parallelNode) run(env *runEnv, in *streamReader, out *streamWriter) {
 				Shape:    rec.Labels(),
 				Branches: n.routes().accept,
 			})
-			env.stats.Add("parallel."+n.label+".unroutable", 1)
+			env.stats.Add(n.kUnroutable, 1)
+			releaseRecord(rec) // dropped, not forwarded
 			continue
 		}
-		env.stats.Add(fmt.Sprintf("parallel.%s.branch%d", n.label, chosen), 1)
+		env.stats.Add(n.branchKeys[chosen], 1)
 		if !f.route(ports[chosen], rec) || !f.afterRoute() {
 			break
 		}

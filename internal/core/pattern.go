@@ -22,7 +22,7 @@ func (p Pattern) guardOK(r *Record) bool {
 	if p.Guard == nil {
 		return true
 	}
-	v, err := p.Guard.Eval(r.tagEnv())
+	v, err := evalTagRec(p.Guard, r)
 	return err == nil && v != 0
 }
 

@@ -316,6 +316,41 @@ func reservedIn(v Variant) (Label, bool) {
 	return Label{}, false
 }
 
+// internNode pre-interns every label a node can put on a record and
+// registers the shapes its declared variants induce, so the plan's whole
+// label universe is id-resolved and its canonical shapes exist before the
+// first record flows.  Records of these shapes then take only the lock-free
+// intern/shape read paths at runtime; out-of-plan dynamic shapes still
+// intern lazily on first sight.
+func internNode(n Node) {
+	internShape := func(v Variant) {
+		internVariant(v)
+		shapeForVariant(v)
+	}
+	switch n := n.(type) {
+	case *boxNode:
+		internShape(NewVariant(n.boxSig.In...))
+		for _, tuple := range n.boxSig.Out {
+			internShape(NewVariant(tuple...))
+		}
+	case *filterNode:
+		internShape(n.spec.Pattern.Variant)
+		for _, items := range n.spec.Outputs {
+			for _, it := range items {
+				internLabel(it.Name)
+			}
+		}
+	case *starNode:
+		internShape(n.exit.Variant)
+	case *splitNode:
+		internLabel(n.tag)
+	case *syncNode:
+		for _, p := range n.patterns {
+			internShape(p.Variant)
+		}
+	}
+}
+
 // checkReservedLabels rejects reserved-namespace labels in user-declared
 // types.  The textual parsers already refuse them; this catches
 // programmatically built nodes.
@@ -372,6 +407,7 @@ func (c *compiler) walk(n Node, prefix string) *Topology {
 	in, out := n.sig(nil)
 	topo := &Topology{Name: n.name(), Path: path, In: renderType(in), Out: renderType(out)}
 	c.checkReservedLabels(path, n)
+	internNode(n)
 	switch n := n.(type) {
 	case *boxNode:
 		topo.Kind = "box"

@@ -18,7 +18,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -26,51 +25,70 @@ import (
 // tags (integers).  Records are not safe for concurrent mutation; the
 // runtime hands each record to exactly one component at a time, which is the
 // S-Net data-flow discipline.
+//
+// Internally a record is a pointer to an interned shape (the label set with
+// a canonical slot layout, see shape.go) plus two flat value arrays aligned
+// with the shape's slots.  Label lookups resolve to slot indices — no string
+// hashing, no per-record maps — and records of the same type share one
+// layout, which is what the routing tables key their memos on.
 type Record struct {
-	fields map[string]any
-	tags   map[string]int
-	// shape memoizes ShapeKey — the canonical rendering of the record's
-	// label set used as the routing-table key.  It is invalidated by any
-	// mutation that changes the label set (value-only updates keep it).
-	// Like the record itself it is not safe for concurrent mutation.
-	shape string
+	shape *shape
+	fvals []any // field values, aligned with shape.fields
+	tvals []int // tag values, aligned with shape.tags
+	// pooled marks records acquired from the transport's record arena
+	// (arena.go): only those return to the pool on release.  Records built
+	// with NewRecord stay caller-owned — callers routinely keep and reuse
+	// them — so releasing one is a no-op.
+	pooled bool
 }
 
 // NewRecord returns an empty record.
 func NewRecord() *Record {
-	return &Record{fields: map[string]any{}, tags: map[string]int{}}
+	return &Record{shape: emptyShape}
 }
 
 // SetField associates a field label with a value and returns the record for
 // chaining.
 func (r *Record) SetField(name string, v any) *Record {
-	if _, ok := r.fields[name]; !ok {
-		r.shape = ""
+	if i, ok := r.shape.fieldSlot(name); ok {
+		r.fvals[i] = v
+		return r
 	}
-	r.fields[name] = v
+	next, pos := r.shape.transition(transAddField, name)
+	r.shape = next
+	r.fvals = append(r.fvals, nil)
+	copy(r.fvals[pos+1:], r.fvals[pos:])
+	r.fvals[pos] = v
 	return r
 }
 
 // SetTag associates a tag label with an integer and returns the record for
 // chaining.
 func (r *Record) SetTag(name string, v int) *Record {
-	if _, ok := r.tags[name]; !ok {
-		r.shape = ""
+	if i, ok := r.shape.tagSlot(name); ok {
+		r.tvals[i] = v
+		return r
 	}
-	r.tags[name] = v
+	next, pos := r.shape.transition(transAddTag, name)
+	r.shape = next
+	r.tvals = append(r.tvals, 0)
+	copy(r.tvals[pos+1:], r.tvals[pos:])
+	r.tvals[pos] = v
 	return r
 }
 
 // Field returns the value of a field and whether it is present.
 func (r *Record) Field(name string) (any, bool) {
-	v, ok := r.fields[name]
-	return v, ok
+	if i, ok := r.shape.fieldSlot(name); ok {
+		return r.fvals[i], true
+	}
+	return nil, false
 }
 
 // MustField returns the value of a field, panicking if absent (used by box
 // implementations whose signature guarantees presence).
 func (r *Record) MustField(name string) any {
-	v, ok := r.fields[name]
+	v, ok := r.Field(name)
 	if !ok {
 		panic(fmt.Sprintf("core: record %v has no field %q", r, name))
 	}
@@ -79,13 +97,15 @@ func (r *Record) MustField(name string) any {
 
 // Tag returns the value of a tag and whether it is present.
 func (r *Record) Tag(name string) (int, bool) {
-	v, ok := r.tags[name]
-	return v, ok
+	if i, ok := r.shape.tagSlot(name); ok {
+		return r.tvals[i], true
+	}
+	return 0, false
 }
 
 // MustTag returns the value of a tag, panicking if absent.
 func (r *Record) MustTag(name string) int {
-	v, ok := r.tags[name]
+	v, ok := r.Tag(name)
 	if !ok {
 		panic(fmt.Sprintf("core: record %v has no tag <%s>", r, name))
 	}
@@ -94,110 +114,88 @@ func (r *Record) MustTag(name string) int {
 
 // DeleteField removes a field if present.
 func (r *Record) DeleteField(name string) {
-	if _, ok := r.fields[name]; ok {
-		r.shape = ""
-		delete(r.fields, name)
+	if _, ok := r.shape.fieldSlot(name); !ok {
+		return
 	}
+	next, pos := r.shape.transition(transDelField, name)
+	r.shape = next
+	r.fvals = append(r.fvals[:pos], r.fvals[pos+1:]...)
 }
 
 // DeleteTag removes a tag if present.
 func (r *Record) DeleteTag(name string) {
-	if _, ok := r.tags[name]; ok {
-		r.shape = ""
-		delete(r.tags, name)
+	if _, ok := r.shape.tagSlot(name); !ok {
+		return
 	}
+	next, pos := r.shape.transition(transDelTag, name)
+	r.shape = next
+	r.tvals = append(r.tvals[:pos], r.tvals[pos+1:]...)
 }
 
 // HasLabel reports whether the record carries the given label.
 func (r *Record) HasLabel(l Label) bool {
 	if l.IsTag {
-		_, ok := r.tags[l.Name]
+		_, ok := r.shape.tagSlot(l.Name)
 		return ok
 	}
-	_, ok := r.fields[l.Name]
+	_, ok := r.shape.fieldSlot(l.Name)
 	return ok
 }
 
 // FieldNames returns the sorted field labels.
 func (r *Record) FieldNames() []string {
-	out := make([]string, 0, len(r.fields))
-	for k := range r.fields {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
+	return append([]string(nil), r.shape.fieldNames...)
 }
 
 // TagNames returns the sorted tag labels.
 func (r *Record) TagNames() []string {
-	out := make([]string, 0, len(r.tags))
-	for k := range r.tags {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
+	return append([]string(nil), r.shape.tagNames...)
 }
 
 // NumLabels returns the total number of labels.
-func (r *Record) NumLabels() int { return len(r.fields) + len(r.tags) }
+func (r *Record) NumLabels() int {
+	return len(r.shape.fields) + len(r.shape.tags)
+}
 
 // Labels returns the record's type: the set of all its labels.
 func (r *Record) Labels() Variant {
 	v := make(Variant, r.NumLabels())
-	for k := range r.fields {
-		v[Label{Name: k}] = struct{}{}
-	}
-	for k := range r.tags {
-		v[Label{Name: k, IsTag: true}] = struct{}{}
+	for l := range r.shape.variant {
+		v[l] = struct{}{}
 	}
 	return v
 }
 
 // Copy returns a shallow copy: field values are shared (they are opaque to
-// S-Net and treated as immutable by convention), label maps are fresh.
+// S-Net and treated as immutable by convention), the slot arrays are fresh.
 func (r *Record) Copy() *Record {
-	c := &Record{
-		fields: make(map[string]any, len(r.fields)),
-		tags:   make(map[string]int, len(r.tags)),
+	return &Record{
+		shape: r.shape,
+		fvals: append([]any(nil), r.fvals...),
+		tvals: append([]int(nil), r.tvals...),
 	}
-	for k, v := range r.fields {
-		c.fields[k] = v
-	}
-	for k, v := range r.tags {
-		c.tags[k] = v
-	}
-	c.shape = r.shape
-	return c
+}
+
+// copyInto re-shapes dst — which must be empty (freshly acquired) — into a
+// copy of r, reusing dst's slot-array capacity.  It is the pool-aware spine
+// of Copy used by runtime-internal copies.
+func (r *Record) copyInto(dst *Record) *Record {
+	dst.shape = r.shape
+	dst.fvals = append(dst.fvals[:0], r.fvals...)
+	dst.tvals = append(dst.tvals[:0], r.tvals...)
+	return dst
 }
 
 // ShapeKey returns the canonical rendering of the record's label set —
-// sorted field names, '|', sorted tag names — the key under which the
-// routing tables memoize per-shape dispatch decisions.  Two records have the
-// same ShapeKey iff they have the same type (Labels).  The key is cached on
-// the record and survives value-only mutations, so a record crossing several
-// routing points pays the sort once.
-func (r *Record) ShapeKey() string {
-	if r.shape != "" {
-		return r.shape
-	}
-	var b strings.Builder
-	b.Grow(8 * (len(r.fields) + len(r.tags) + 1))
-	for i, k := range r.FieldNames() {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(k)
-	}
-	b.WriteByte('|')
-	for i, k := range r.TagNames() {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(k)
-	}
-	r.shape = b.String()
-	return r.shape
-}
+// sorted field names, '|', sorted tag names.  Two records have the same
+// ShapeKey iff they have the same type (Labels).  With interned shapes the
+// key is precomputed on the shared layout, so this is a pointer chase; the
+// routing tables themselves key on the shape pointer and never touch it.
+func (r *Record) ShapeKey() string { return r.shape.key }
+
+// shapeRef exposes the interned layout — the identity the per-shape memos
+// (routing, matching, filter programs) key on.
+func (r *Record) shapeRef() *shape { return r.shape }
 
 // String renders the record as {field=value, ..., <tag>=n, ...} with sorted
 // labels; large field values are elided to their type.
@@ -205,29 +203,25 @@ func (r *Record) String() string {
 	var b strings.Builder
 	b.WriteByte('{')
 	first := true
-	for _, k := range r.FieldNames() {
+	for i, k := range r.shape.fieldNames {
 		if !first {
 			b.WriteString(", ")
 		}
 		first = false
-		v := r.fields[k]
-		switch v := v.(type) {
+		switch v := r.fvals[i].(type) {
 		case int, int64, float64, bool, string:
 			fmt.Fprintf(&b, "%s=%v", k, v)
 		default:
 			fmt.Fprintf(&b, "%s=(%T)", k, v)
 		}
 	}
-	for _, k := range r.TagNames() {
+	for i, k := range r.shape.tagNames {
 		if !first {
 			b.WriteString(", ")
 		}
 		first = false
-		fmt.Fprintf(&b, "<%s>=%d", k, r.tags[k])
+		fmt.Fprintf(&b, "<%s>=%d", k, r.tvals[i])
 	}
 	b.WriteByte('}')
 	return b.String()
 }
-
-// tagEnv adapts a record's tags for tag-expression evaluation.
-func (r *Record) tagEnv() map[string]int { return r.tags }

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The flat wire form of a record — the slot-array layout serialized as-is.
+//
+// Because a shape stores its labels in canonical slot order (fields sorted
+// by name, then tags sorted by name), writing the slots front to back is
+// already a canonical encoding: two records with equal contents produce
+// identical bytes regardless of the order their labels were set in.  The
+// format is self-describing (label names travel with the values), so a
+// reader on the other end of a wire reconstructs the record — and its
+// interned shape — without sharing this process's symbol table.
+//
+//	flat   := version(0x01) nfields:uvarint field* ntags:uvarint tag*
+//	field  := name value
+//	tag    := name val:varint
+//	name   := len:uvarint bytes
+//	value  := kind:byte payload
+//
+// Value kinds cover the types the coordination layer itself traffics in;
+// richer box payloads stay the business of a service Codec.
+
+// flatVersion is the format version byte leading every encoding.
+const flatVersion = 0x01
+
+// Value kind bytes of the flat encoding.
+const (
+	flatBool  = 0x01 // 1 payload byte, 0 or 1
+	flatInt   = 0x02 // varint, decodes as int
+	flatInt64 = 0x03 // varint, decodes as int64
+	flatFloat = 0x04 // 8 bytes, IEEE-754 little-endian
+	flatStr   = 0x05 // uvarint length + bytes
+	flatBytes = 0x06 // uvarint length + bytes
+)
+
+// flatMaxLen caps one name or value read by DecodeFlat, so corrupt input
+// cannot ask for a multi-gigabyte allocation.
+const flatMaxLen = 1 << 24
+
+// AppendFlat appends the record's canonical flat encoding to buf and
+// returns the extended slice.  It fails on field values outside the wire
+// types (bool, int, int64, float64, string, []byte): those are box-level
+// payloads a service Codec must translate first.
+func (r *Record) AppendFlat(buf []byte) ([]byte, error) {
+	buf = append(buf, flatVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(r.shape.fieldNames)))
+	for i, name := range r.shape.fieldNames {
+		buf = appendFlatString(buf, name)
+		var err error
+		if buf, err = appendFlatValue(buf, name, r.fvals[i]); err != nil {
+			return nil, err
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(r.shape.tagNames)))
+	for i, name := range r.shape.tagNames {
+		buf = appendFlatString(buf, name)
+		buf = binary.AppendVarint(buf, int64(r.tvals[i]))
+	}
+	return buf, nil
+}
+
+func appendFlatString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendFlatValue(buf []byte, label string, v any) ([]byte, error) {
+	switch v := v.(type) {
+	case bool:
+		b := byte(0)
+		if v {
+			b = 1
+		}
+		return append(buf, flatBool, b), nil
+	case int:
+		return binary.AppendVarint(append(buf, flatInt), int64(v)), nil
+	case int64:
+		return binary.AppendVarint(append(buf, flatInt64), v), nil
+	case float64:
+		buf = append(buf, flatFloat)
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v)), nil
+	case string:
+		return appendFlatString(append(buf, flatStr), v), nil
+	case []byte:
+		buf = binary.AppendUvarint(append(buf, flatBytes), uint64(len(v)))
+		return append(buf, v...), nil
+	default:
+		return nil, fmt.Errorf("core: field %q: %T is not a flat wire type", label, v)
+	}
+}
+
+// DecodeFlat reads one flat-encoded record from data, returning the record
+// and the remaining bytes.  The decoded record is a fresh user-owned
+// record (never pooled); label names intern and the shape registers as a
+// side effect, so decoding is also how a wire peer's shapes enter this
+// process's registry.
+func DecodeFlat(data []byte) (*Record, []byte, error) {
+	if len(data) == 0 || data[0] != flatVersion {
+		return nil, data, fmt.Errorf("core: DecodeFlat: bad version byte")
+	}
+	rest := data[1:]
+	r := NewRecord()
+	nf, rest, err := decodeFlatCount(rest, "field")
+	if err != nil {
+		return nil, data, err
+	}
+	for i := 0; i < nf; i++ {
+		var name string
+		if name, rest, err = decodeFlatString(rest); err != nil {
+			return nil, data, err
+		}
+		var v any
+		if v, rest, err = decodeFlatValue(rest); err != nil {
+			return nil, data, err
+		}
+		r.SetField(name, v)
+	}
+	nt, rest, err := decodeFlatCount(rest, "tag")
+	if err != nil {
+		return nil, data, err
+	}
+	for i := 0; i < nt; i++ {
+		var name string
+		if name, rest, err = decodeFlatString(rest); err != nil {
+			return nil, data, err
+		}
+		v, n := binary.Varint(rest)
+		if n <= 0 {
+			return nil, data, fmt.Errorf("core: DecodeFlat: truncated tag value")
+		}
+		rest = rest[n:]
+		r.SetTag(name, int(v))
+	}
+	return r, rest, nil
+}
+
+func decodeFlatCount(data []byte, what string) (int, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 || v > flatMaxLen {
+		return 0, data, fmt.Errorf("core: DecodeFlat: bad %s count", what)
+	}
+	return int(v), data[n:], nil
+}
+
+func decodeFlatString(data []byte) (string, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 || v > flatMaxLen || uint64(len(data)-n) < v {
+		return "", data, fmt.Errorf("core: DecodeFlat: truncated string")
+	}
+	return string(data[n : n+int(v)]), data[n+int(v):], nil
+}
+
+func decodeFlatValue(data []byte) (any, []byte, error) {
+	if len(data) == 0 {
+		return nil, data, fmt.Errorf("core: DecodeFlat: truncated value")
+	}
+	kind, rest := data[0], data[1:]
+	switch kind {
+	case flatBool:
+		if len(rest) == 0 || rest[0] > 1 {
+			return nil, data, fmt.Errorf("core: DecodeFlat: bad bool")
+		}
+		return rest[0] == 1, rest[1:], nil
+	case flatInt:
+		v, n := binary.Varint(rest)
+		if n <= 0 {
+			return nil, data, fmt.Errorf("core: DecodeFlat: truncated int")
+		}
+		return int(v), rest[n:], nil
+	case flatInt64:
+		v, n := binary.Varint(rest)
+		if n <= 0 {
+			return nil, data, fmt.Errorf("core: DecodeFlat: truncated int64")
+		}
+		return v, rest[n:], nil
+	case flatFloat:
+		if len(rest) < 8 {
+			return nil, data, fmt.Errorf("core: DecodeFlat: truncated float")
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(rest)), rest[8:], nil
+	case flatStr:
+		s, rest, err := decodeFlatString(rest)
+		return s, rest, err
+	case flatBytes:
+		v, n := binary.Uvarint(rest)
+		if n <= 0 || v > flatMaxLen || uint64(len(rest)-n) < v {
+			return nil, data, fmt.Errorf("core: DecodeFlat: truncated bytes")
+		}
+		out := make([]byte, v)
+		copy(out, rest[n:])
+		return out, rest[n+int(v):], nil
+	default:
+		return nil, data, fmt.Errorf("core: DecodeFlat: unknown value kind 0x%02x", kind)
+	}
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// flatRecordsEqual compares two records label by label (DeepEqual on field
+// values, so []byte fields compare by content).
+func flatRecordsEqual(a, b *Record) bool {
+	if a.ShapeKey() != b.ShapeKey() {
+		return false
+	}
+	for _, name := range a.FieldNames() {
+		av, _ := a.Field(name)
+		bv, _ := b.Field(name)
+		if !reflect.DeepEqual(av, bv) {
+			return false
+		}
+	}
+	for _, name := range a.TagNames() {
+		av, _ := a.Tag(name)
+		bv, _ := b.Tag(name)
+		if av != bv {
+			return false
+		}
+	}
+	return true
+}
+
+func mustFlat(t *testing.T, r *Record) []byte {
+	t.Helper()
+	buf, err := r.AppendFlat(nil)
+	if err != nil {
+		t.Fatalf("AppendFlat(%s): %v", r, err)
+	}
+	return buf
+}
+
+// TestFlatGolden pins the wire bytes of representative records, so format
+// drift is an explicit test change, never an accident.
+func TestFlatGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		rec  *Record
+		hex  string
+	}{
+		{"empty", NewRecord(), "010000"},
+		// 01 | 1 field | "a" | str "x" | 1 tag | "t" | varint 5
+		{"one-each", NewRecord().SetField("a", "x").SetTag("t", 5),
+			"010101610501780101740a"},
+		// 01 | 0 fields | 1 tag | "n" | varint -1 (zigzag 01)
+		{"negative-tag", NewRecord().SetTag("n", -1), "010001016e01"},
+		// 01 | 1 field "b" = bool true | 0 tags
+		{"bool", NewRecord().SetField("b", true), "01010162010100"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := hex.EncodeToString(mustFlat(t, tc.rec))
+			if got != tc.hex {
+				t.Fatalf("flat(%s) = %s, want %s", tc.rec, got, tc.hex)
+			}
+		})
+	}
+}
+
+// TestFlatCanonicalOrder checks insertion order does not leak into the
+// encoding: the slot layout is canonical, so the bytes are too.
+func TestFlatCanonicalOrder(t *testing.T) {
+	fwd := NewRecord().SetField("a", 1).SetField("b", 2).SetTag("x", 3).SetTag("y", 4)
+	rev := NewRecord().SetTag("y", 4).SetTag("x", 3).SetField("b", 2).SetField("a", 1)
+	if fb, rb := mustFlat(t, fwd), mustFlat(t, rev); !bytes.Equal(fb, rb) {
+		t.Fatalf("insertion order leaked into encoding:\n fwd %x\n rev %x", fb, rb)
+	}
+}
+
+// TestFlatRoundTrip round-trips every wire type, a dynamic (never compiled)
+// shape, and a reserved-tag control record.
+func TestFlatRoundTrip(t *testing.T) {
+	recs := []*Record{
+		NewRecord(),
+		NewRecord().SetField("s", "hello").SetField("i", 42).SetField("i64", int64(-7)).
+			SetField("f", math.Pi).SetField("b", true).SetField("raw", []byte{0, 1, 2}).
+			SetTag("t", -123456),
+		NewRecord().SetField("dyn_never_compiled_label_xyzzy", "v").
+			SetTag("dyn_never_compiled_tag_xyzzy", 9),
+		NewReplicaCloseAck("k", 3),
+	}
+	for _, r := range recs {
+		buf := mustFlat(t, r)
+		got, rest, err := DecodeFlat(buf)
+		if err != nil {
+			t.Fatalf("DecodeFlat(%x): %v", buf, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("DecodeFlat(%x): %d trailing bytes", buf, len(rest))
+		}
+		if !flatRecordsEqual(r, got) {
+			t.Fatalf("round trip mutated record: %s -> %s", r, got)
+		}
+		if r.HasReservedLabel() != got.HasReservedLabel() {
+			t.Fatalf("reserved flag lost in round trip of %s", r)
+		}
+		// The decoded record's shape is the interned one: encoding it again
+		// is byte-identical.
+		again := mustFlat(t, got)
+		if !bytes.Equal(buf, again) {
+			t.Fatalf("re-encode diverged:\n  %x\n  %x", buf, again)
+		}
+	}
+}
+
+// TestFlatSharedShape checks a round-tripped record lands on the same
+// interned *shape as a natively built one — the decode path feeds the same
+// registry the compiler pre-populates.
+func TestFlatSharedShape(t *testing.T) {
+	r := NewRecord().SetField("pos", "here").SetTag("lvl", 2)
+	buf := mustFlat(t, r)
+	got, _, err := DecodeFlat(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.shapeRef() != r.shapeRef() {
+		t.Fatalf("decoded record has shape %p, native %p (keys %q / %q)",
+			got.shapeRef(), r.shapeRef(), got.ShapeKey(), r.ShapeKey())
+	}
+}
+
+// TestFlatConcatenatedStream checks DecodeFlat consumes exactly one record,
+// returning the rest — the framing a wire transport needs.
+func TestFlatConcatenatedStream(t *testing.T) {
+	a := NewRecord().SetTag("n", 1)
+	b := NewRecord().SetField("s", "x")
+	buf := mustFlat(t, a)
+	buf = append(buf, mustFlat(t, b)...)
+	gotA, rest, err := DecodeFlat(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, rest, err := DecodeFlat(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 || !flatRecordsEqual(a, gotA) || !flatRecordsEqual(b, gotB) {
+		t.Fatalf("stream decode: got %s, %s, %d trailing", gotA, gotB, len(rest))
+	}
+}
+
+// TestFlatDegenerateLabels pins the registry-collision regression the
+// fuzzer found: label names that are empty or contain the ShapeKey
+// separators (',', '|') must still intern distinct shapes — the registry
+// keys on a length-prefixed encoding, not the pretty ShapeKey.
+func TestFlatDegenerateLabels(t *testing.T) {
+	r := NewRecord().SetField("", 1).SetField("a,b", 2).SetTag("x|y", 3)
+	if r.shapeRef() == emptyShape {
+		t.Fatal("degenerate shape aliased the empty shape")
+	}
+	if v, ok := r.Field(""); !ok || v != 1 {
+		t.Fatalf("empty-named field lost: %v %v", v, ok)
+	}
+	if v, ok := r.Field("a,b"); !ok || v != 2 {
+		t.Fatalf("comma field lost: %v %v", v, ok)
+	}
+	two := NewRecord().SetField("a", 1).SetField("b", 2)
+	if two.shapeRef() == NewRecord().SetField("a,b", 0).shapeRef() {
+		t.Fatal("{a,b} and {a, b} aliased one shape")
+	}
+	buf := mustFlat(t, r)
+	got, _, err := DecodeFlat(buf)
+	if err != nil || !flatRecordsEqual(r, got) {
+		t.Fatalf("degenerate labels did not round-trip: %v, %s", err, got)
+	}
+}
+
+// TestFlatRejectsNonWireField checks box-level payloads are refused, not
+// silently mangled.
+func TestFlatRejectsNonWireField(t *testing.T) {
+	type opaque struct{ int }
+	_, err := NewRecord().SetField("x", opaque{1}).AppendFlat(nil)
+	if err == nil || !strings.Contains(err.Error(), "not a flat wire type") {
+		t.Fatalf("want wire-type error, got %v", err)
+	}
+}
+
+// TestFlatDecodeErrors checks corrupt input fails loudly, never panics.
+func TestFlatDecodeErrors(t *testing.T) {
+	good := mustFlat(t, NewRecord().SetField("a", "x").SetTag("t", 5))
+	bad := [][]byte{
+		nil,
+		{0x00},                               // wrong version
+		{flatVersion},                        // missing field count
+		good[:3],                             // truncated mid-name
+		good[:len(good)-1],                   // truncated final varint
+		{flatVersion, 0x01, 0x01, 'a', 0xff}, // unknown value kind
+	}
+	for _, data := range bad {
+		if _, _, err := DecodeFlat(data); err == nil {
+			t.Fatalf("DecodeFlat(%x) accepted corrupt input", data)
+		}
+	}
+}
+
+// FuzzFlatRoundTrip throws arbitrary bytes at DecodeFlat; whatever decodes
+// must re-encode canonically and decode back to an equal record.
+func FuzzFlatRoundTrip(f *testing.F) {
+	seed := func(r *Record) {
+		buf, err := r.AppendFlat(nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	seed(NewRecord())
+	seed(NewRecord().SetField("a", "x").SetTag("t", 5))
+	seed(NewRecord().SetField("f", 2.5).SetField("raw", []byte("bytes")).SetTag("n", -3))
+	seed(NewReplicaCloseAck("k", 1))
+	f.Add([]byte{flatVersion, 0x02, 0x01, 'a'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, _, err := DecodeFlat(data)
+		if err != nil {
+			return
+		}
+		buf, err := rec.AppendFlat(nil)
+		if err != nil {
+			t.Fatalf("decoded record does not re-encode: %v", err)
+		}
+		again, rest, err := DecodeFlat(buf)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("canonical re-encode does not decode: %v (%d trailing)", err, len(rest))
+		}
+		if !flatRecordsEqual(rec, again) {
+			t.Fatalf("round trip mutated record: %s -> %s", rec, again)
+		}
+	})
+}

@@ -38,19 +38,7 @@ func IsReservedLabel(name string) bool {
 // HasReservedLabel reports whether the record carries any reserved label —
 // the ingress check of layers (such as the session service) that must keep
 // clients from spoofing runtime control records.
-func (r *Record) HasReservedLabel() bool {
-	for k := range r.tags {
-		if IsReservedLabel(k) {
-			return true
-		}
-	}
-	for k := range r.fields {
-		if IsReservedLabel(k) {
-			return true
-		}
-	}
-	return false
-}
+func (r *Record) HasReservedLabel() bool { return r.shape.reserved }
 
 // NewReplicaClose builds the in-band control record that retires one replica
 // of parallel replication: when a split node over <tag> receives it, the

@@ -61,15 +61,17 @@ func (e *NoRouteError) Unwrap() error { return ErrNoRoute }
 // for concurrent use; shared across runs.
 type matchMemo struct {
 	variant Variant
-	memo    sync.Map // ShapeKey → bool
+	memo    sync.Map // *shape → bool
 	size    atomic.Int64
 }
 
 func newMatchMemo(v Variant) *matchMemo { return &matchMemo{variant: v} }
 
 // satisfies reports whether rec carries every label of the memo's variant.
+// The memo keys on the record's interned shape pointer: one lock-free map
+// probe, and — unlike a string key — boxing the key allocates nothing.
 func (m *matchMemo) satisfies(rec *Record) bool {
-	key := rec.ShapeKey()
+	key := rec.shape
 	if v, ok := m.memo.Load(key); ok {
 		return v.(bool)
 	}
@@ -118,7 +120,7 @@ type routeTable struct {
 	accept []RecType // per-branch accepted input type (diagnostics, NoRouteError)
 	static []RecType // statically scorable accepted type; nil for guarded branches
 	gb     []guardedBranch
-	memo   sync.Map // ShapeKey → *dispatchEntry
+	memo   sync.Map // *shape → *dispatchEntry
 	size   atomic.Int64
 }
 
@@ -147,7 +149,7 @@ func buildRouteTable(det bool, branches []Node) *routeTable {
 // entry returns (building and memoizing on demand) the dispatch entry for
 // the record's shape.
 func (t *routeTable) entry(rec *Record) *dispatchEntry {
-	key := rec.ShapeKey()
+	key := rec.shape
 	if e, ok := t.memo.Load(key); ok {
 		return e.(*dispatchEntry)
 	}

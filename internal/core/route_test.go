@@ -20,9 +20,10 @@ func TestShapeKeyCaching(t *testing.T) {
 	if got, want := r.ShapeKey(), "a,b|t"; got != want {
 		t.Fatalf("ShapeKey = %q, want %q", got, want)
 	}
-	r.SetField("a", 9) // value-only update keeps the cached shape
-	if r.shape == "" {
-		t.Fatal("value-only SetField invalidated the shape cache")
+	sh := r.shapeRef()
+	r.SetField("a", 9) // value-only update keeps the interned shape
+	if r.shapeRef() != sh {
+		t.Fatal("value-only SetField changed the interned shape")
 	}
 	r.SetTag("u", 1)
 	if got, want := r.ShapeKey(), "a,b|t,u"; got != want {

@@ -18,10 +18,38 @@ type Stats struct {
 	mu       sync.Mutex
 	counters map[string]int64
 	maxima   map[string]int64
+
+	// The transport-plane keys are preregistered as atomics: every stream
+	// writer folds its frame/record tallies in on close (and the boundary
+	// writer on every direct send), so these are the collector's hottest
+	// keys by far.  Routing them around the mutex keeps a run with
+	// thousands of short-lived streams (deep split/star unfoldings) off
+	// the map lock; Snapshot, Counter, Keys and friends fold them back in,
+	// so the external Stats shape is unchanged.
+	hotFrames  atomic.Int64 // "stream.frames"
+	hotRecords atomic.Int64 // "stream.records"
+	hotHWM     atomic.Int64 // "stream.frame.hwm" (a maximum, not a sum)
 }
+
+// The preregistered hot-counter keys.
+const (
+	statStreamFrames  = "stream.frames"
+	statStreamRecords = "stream.records"
+	statFrameHWM      = "stream.frame.hwm"
+)
 
 func newStats() *Stats {
 	return &Stats{counters: map[string]int64{}, maxima: map[string]int64{}}
+}
+
+// atomicMax raises a to at least v.
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // NewStats returns an empty, usable Stats collector.  The runtime allocates
@@ -42,6 +70,9 @@ func (s *Stats) Merge(o *Stats) {
 		maxima[k] = v
 	}
 	o.mu.Unlock()
+	s.hotFrames.Add(o.hotFrames.Load())
+	s.hotRecords.Add(o.hotRecords.Load())
+	atomicMax(&s.hotHWM, o.hotHWM.Load())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for k, v := range counters {
@@ -56,6 +87,12 @@ func (s *Stats) Merge(o *Stats) {
 
 // Add increments a counter and returns the new value.
 func (s *Stats) Add(key string, delta int64) int64 {
+	switch key {
+	case statStreamFrames:
+		return s.hotFrames.Add(delta)
+	case statStreamRecords:
+		return s.hotRecords.Add(delta)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.counters[key] += delta
@@ -64,6 +101,10 @@ func (s *Stats) Add(key string, delta int64) int64 {
 
 // SetMax records v as a high-water mark for key.
 func (s *Stats) SetMax(key string, v int64) {
+	if key == statFrameHWM {
+		atomicMax(&s.hotHWM, v)
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if v > s.maxima[key] {
@@ -73,6 +114,12 @@ func (s *Stats) SetMax(key string, v int64) {
 
 // Counter returns the current value of a counter.
 func (s *Stats) Counter(key string) int64 {
+	switch key {
+	case statStreamFrames:
+		return s.hotFrames.Load()
+	case statStreamRecords:
+		return s.hotRecords.Load()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.counters[key]
@@ -80,21 +127,50 @@ func (s *Stats) Counter(key string) int64 {
 
 // Max returns the recorded high-water mark for key.
 func (s *Stats) Max(key string) int64 {
+	if key == statFrameHWM {
+		return s.hotHWM.Load()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.maxima[key]
+}
+
+// hotKV is one nonzero hot counter, for the map-shaped accessors.
+type hotKV struct {
+	key string
+	val int64
+}
+
+// hotSnapshot lists the nonzero hot counters (maxima excluded), so a run
+// that never touched the transport plane reports no transport keys, exactly
+// as before.
+func (s *Stats) hotSnapshot() []hotKV {
+	var out []hotKV
+	if v := s.hotFrames.Load(); v != 0 {
+		out = append(out, hotKV{statStreamFrames, v})
+	}
+	if v := s.hotRecords.Load(); v != 0 {
+		out = append(out, hotKV{statStreamRecords, v})
+	}
+	return out
 }
 
 // Snapshot returns all counters (maxima suffixed ".max") as a plain map.
 func (s *Stats) Snapshot() map[string]int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make(map[string]int64, len(s.counters)+len(s.maxima))
+	out := make(map[string]int64, len(s.counters)+len(s.maxima)+3)
 	for k, v := range s.counters {
 		out[k] = v
 	}
 	for k, v := range s.maxima {
 		out[k+".max"] = v
+	}
+	for _, kv := range s.hotSnapshot() {
+		out[kv.key] = kv.val
+	}
+	if v := s.hotHWM.Load(); v != 0 {
+		out[statFrameHWM+".max"] = v
 	}
 	return out
 }
@@ -103,9 +179,12 @@ func (s *Stats) Snapshot() map[string]int64 {
 func (s *Stats) Keys() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	keys := make([]string, 0, len(s.counters))
+	keys := make([]string, 0, len(s.counters)+2)
 	for k := range s.counters {
 		keys = append(keys, k)
+	}
+	for _, kv := range s.hotSnapshot() {
+		keys = append(keys, kv.key)
 	}
 	sort.Strings(keys)
 	return keys
@@ -119,6 +198,11 @@ func (s *Stats) SumPrefix(prefix string) int64 {
 	for k, v := range s.counters {
 		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
 			total += v
+		}
+	}
+	for _, kv := range s.hotSnapshot() {
+		if k := kv.key; len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			total += kv.val
 		}
 	}
 	return total

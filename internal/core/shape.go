@@ -1,0 +1,322 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Shapes — the compile-time-interned record layouts behind the slot-array
+// record representation (record.go).
+//
+// A shape is one immutable label set with a fixed slot layout: field slots
+// ordered by field name, tag slots ordered by tag name.  Every record points
+// at exactly one shape; records with equal label sets share the same shape
+// object (shapes are interned in a global registry keyed by the canonical
+// ShapeKey), so the routing tables and pattern memos key their per-shape
+// decisions by shape *pointer* — one map probe, no string hashing, no
+// canonicalization per record.
+//
+// Mutating a record's label set walks a shape *transition*: shape + label →
+// shape.  Transitions are memoized per shape in a copy-on-write map, so
+// steady-state record construction (a box emitting the same output variant,
+// a filter rewriting the same input shape) never rebuilds layouts — it
+// follows pointers.  The canonical slot order also makes the flat layout a
+// deterministic serialization format (record_flat.go), which is what the
+// distributed backend's wire codec rides on.
+//
+// Shapes never carry values: they are layouts.  The registry is bounded
+// (maxShapes); beyond the cap — only reachable by workloads synthesizing
+// unbounded fresh label sets — transitions return unregistered shapes whose
+// memory is bounded by the records that reference them.
+
+// shape is one interned record layout.  All exported-ish fields are
+// immutable after construction.
+type shape struct {
+	fields     []labelID // field slots, ascending by name
+	fieldNames []string  // aligned with fields
+	tags       []labelID // tag slots, ascending by name
+	tagNames   []string  // aligned with tags
+	key        string    // canonical ShapeKey: "f1,f2|t1,t2"
+	variant    Variant   // the label set; treat as immutable
+	reserved   bool      // carries a reserved "__snet_" label
+	registered bool      // lives in the global registry
+
+	trans atomic.Pointer[map[shapeTrans]*shape]
+	mu    sync.Mutex // serializes transition/registry publication
+}
+
+// shapeTrans is one layout transition: add/remove one field/tag label.
+type shapeTrans struct {
+	op uint8
+	id labelID
+}
+
+const (
+	transAddField = iota
+	transAddTag
+	transDelField
+	transDelTag
+)
+
+// maxShapes bounds the global shape registry; maxShapeTrans bounds each
+// shape's memoized transition map.  Real networks see a handful of shapes;
+// the caps only matter to adversarial label-synthesizing workloads.
+const (
+	maxShapes     = 1 << 16
+	maxShapeTrans = 1 << 8
+)
+
+var (
+	shapeRegMu sync.Mutex
+	shapeReg   = map[string]*shape{} // ShapeKey → shape
+	shapeCount atomic.Int64
+	emptyShape = newShape(nil, nil, nil, nil, true)
+)
+
+func init() {
+	shapeReg[shapeRegKey(nil, nil)] = emptyShape
+	shapeCount.Store(1)
+}
+
+// newShape builds a layout from name-sorted label slices (which it adopts).
+func newShape(fields []labelID, fieldNames []string, tags []labelID, tagNames []string, registered bool) *shape {
+	s := &shape{
+		fields: fields, fieldNames: fieldNames,
+		tags: tags, tagNames: tagNames,
+		registered: registered,
+	}
+	var b strings.Builder
+	n := 1
+	for _, k := range fieldNames {
+		n += len(k) + 1
+	}
+	for _, k := range tagNames {
+		n += len(k) + 1
+	}
+	b.Grow(n)
+	for i, k := range fieldNames {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+	}
+	b.WriteByte('|')
+	for i, k := range tagNames {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+	}
+	s.key = b.String()
+	s.variant = make(Variant, len(fields)+len(tags))
+	for _, k := range fieldNames {
+		s.variant[Field(k)] = struct{}{}
+		s.reserved = s.reserved || IsReservedLabel(k)
+	}
+	for _, k := range tagNames {
+		s.variant[Tag(k)] = struct{}{}
+		s.reserved = s.reserved || IsReservedLabel(k)
+	}
+	return s
+}
+
+// shapeRegKey renders an unambiguous registry key for name-sorted label
+// slices.  Unlike the human-readable ShapeKey, every name is length-prefixed:
+// degenerate label names (empty, or containing ',' / '|') must not alias two
+// distinct layouts onto one registry entry — the fuzzer found exactly that,
+// a {""} field shape colliding with the empty shape.
+func shapeRegKey(fieldNames, tagNames []string) string {
+	var b strings.Builder
+	for _, k := range fieldNames {
+		b.WriteString(strconv.Itoa(len(k)))
+		b.WriteByte(':')
+		b.WriteString(k)
+	}
+	b.WriteByte('|')
+	for _, k := range tagNames {
+		b.WriteString(strconv.Itoa(len(k)))
+		b.WriteByte(':')
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// canonicalShape interns the layout for the given name-sorted label slices,
+// which must not be mutated afterwards if the shape gets registered.
+func canonicalShape(fields []labelID, fieldNames []string, tags []labelID, tagNames []string) *shape {
+	key := shapeRegKey(fieldNames, tagNames)
+	shapeRegMu.Lock()
+	defer shapeRegMu.Unlock()
+	if s, ok := shapeReg[key]; ok {
+		return s
+	}
+	registered := shapeCount.Load() < maxShapes
+	s := newShape(fields, fieldNames, tags, tagNames, registered)
+	if registered {
+		shapeReg[key] = s
+		shapeCount.Add(1)
+	}
+	return s
+}
+
+// NumShapes reports the size of the global shape registry (tests,
+// diagnostics).
+func NumShapes() int { return int(shapeCount.Load()) }
+
+// fieldSlot returns the slot index of a field by name.
+func (s *shape) fieldSlot(name string) (int, bool) {
+	i := sort.SearchStrings(s.fieldNames, name)
+	if i < len(s.fieldNames) && s.fieldNames[i] == name {
+		return i, true
+	}
+	return -1, false
+}
+
+// tagSlot returns the slot index of a tag by name.
+func (s *shape) tagSlot(name string) (int, bool) {
+	i := sort.SearchStrings(s.tagNames, name)
+	if i < len(s.tagNames) && s.tagNames[i] == name {
+		return i, true
+	}
+	return -1, false
+}
+
+// fieldSlotID / tagSlotID resolve a slot by interned id — the form the
+// compiled programs use (ids resolve once at compile, slots scan a handful
+// of ints per record).
+func (s *shape) fieldSlotID(id labelID) (int, bool) {
+	for i, f := range s.fields {
+		if f == id {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+func (s *shape) tagSlotID(id labelID) (int, bool) {
+	for i, t := range s.tags {
+		if t == id {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// transition returns the layout after one add/remove, memoizing it on s.
+// For additions, pos is the slot the new label occupies in the target
+// layout; for removals, the slot it vacated in s.
+func (s *shape) transition(op uint8, name string) (next *shape, pos int) {
+	id := internLabel(name)
+	tk := shapeTrans{op: op, id: id}
+	if m := s.trans.Load(); m != nil {
+		if t, ok := (*m)[tk]; ok {
+			return t, transPos(op, t, s, name)
+		}
+	}
+	next = s.buildTransition(op, id, name)
+	s.mu.Lock()
+	old := s.trans.Load()
+	var size int
+	if old != nil {
+		size = len(*old)
+	}
+	if size < maxShapeTrans {
+		m := make(map[shapeTrans]*shape, size+1)
+		if old != nil {
+			for k, v := range *old {
+				m[k] = v
+			}
+		}
+		m[tk] = next
+		s.trans.Store(&m)
+	}
+	s.mu.Unlock()
+	return next, transPos(op, next, s, name)
+}
+
+// transPos recovers the affected slot index for a memoized transition.
+func transPos(op uint8, next, prev *shape, name string) int {
+	switch op {
+	case transAddField:
+		i, _ := next.fieldSlot(name)
+		return i
+	case transAddTag:
+		i, _ := next.tagSlot(name)
+		return i
+	case transDelField:
+		i, _ := prev.fieldSlot(name)
+		return i
+	default:
+		i, _ := prev.tagSlot(name)
+		return i
+	}
+}
+
+// buildTransition computes the target layout of one transition.
+func (s *shape) buildTransition(op uint8, id labelID, name string) *shape {
+	clone := func(ids []labelID, names []string) ([]labelID, []string) {
+		return append([]labelID(nil), ids...), append([]string(nil), names...)
+	}
+	insert := func(ids []labelID, names []string) ([]labelID, []string) {
+		i := sort.SearchStrings(names, name)
+		ids = append(ids, 0)
+		copy(ids[i+1:], ids[i:])
+		ids[i] = id
+		names = append(names, "")
+		copy(names[i+1:], names[i:])
+		names[i] = name
+		return ids, names
+	}
+	remove := func(ids []labelID, names []string, i int) ([]labelID, []string) {
+		ids = append(ids[:i], ids[i+1:]...)
+		names = append(names[:i], names[i+1:]...)
+		return ids, names
+	}
+	fields, fieldNames := clone(s.fields, s.fieldNames)
+	tags, tagNames := clone(s.tags, s.tagNames)
+	switch op {
+	case transAddField:
+		fields, fieldNames = insert(fields, fieldNames)
+	case transAddTag:
+		tags, tagNames = insert(tags, tagNames)
+	case transDelField:
+		i, _ := s.fieldSlot(name)
+		fields, fieldNames = remove(fields, fieldNames, i)
+	case transDelTag:
+		i, _ := s.tagSlot(name)
+		tags, tagNames = remove(tags, tagNames, i)
+	}
+	return canonicalShape(fields, fieldNames, tags, tagNames)
+}
+
+// shapeForVariant interns the layout carrying exactly the labels of v.
+func shapeForVariant(v Variant) *shape {
+	sh := emptyShape
+	for _, l := range v.Labels() {
+		if l.IsTag {
+			sh, _ = sh.transition(transAddTag, l.Name)
+		} else {
+			sh, _ = sh.transition(transAddField, l.Name)
+		}
+	}
+	return sh
+}
+
+// satisfiesIDs reports whether the shape carries every listed field and tag
+// id — the static half of pattern matching, resolved to ids at compile.
+func (s *shape) satisfiesIDs(fields, tags []labelID) bool {
+	for _, id := range fields {
+		if _, ok := s.fieldSlotID(id); !ok {
+			return false
+		}
+	}
+	for _, id := range tags {
+		if _, ok := s.tagSlotID(id); !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -192,7 +192,9 @@ func (n *splitNode) run(env *runEnv, in *streamReader, out *streamWriter) {
 			}
 			var sentinel *Record
 			if wantsCloseAck(rec) {
-				sentinel = rec
+				sentinel = rec // forwarded downstream as the drain barrier
+			} else {
+				releaseRecord(rec) // consumed by the split itself
 			}
 			if !retire(foldKey(v, n.uncapped, env.maxWidth), sentinel, "closed") {
 				break
@@ -203,6 +205,7 @@ func (n *splitNode) run(env *runEnv, in *streamReader, out *streamWriter) {
 			env.error(fmt.Errorf("core: split %s: record %s lacks index tag <%s>",
 				n.label, rec, n.tag))
 			env.stats.Add("split."+n.label+".untagged", 1)
+			releaseRecord(rec) // dropped, not forwarded
 			continue
 		}
 		key := foldKey(v, n.uncapped, env.maxWidth)

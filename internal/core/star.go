@@ -105,6 +105,7 @@ func (n *starNode) run(env *runEnv, in *streamReader, out *streamWriter) {
 				env.error(fmt.Errorf("core: star %s: unfolding beyond depth %d; dropping %s",
 					n.label, env.maxDepth, rec))
 				env.stats.Add("star."+n.label+".overflow", 1)
+				releaseRecord(rec) // dropped, not forwarded
 				continue
 			}
 			env.stats.Add("star."+n.label+".replicas", 1)

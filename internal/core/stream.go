@@ -101,7 +101,7 @@ func (w *streamWriter) send(it item) bool {
 		return w.ship(frame{single: it})
 	}
 	if w.pending == nil {
-		w.pending = make([]item, 0, w.batch)
+		w.pending = acquireFrameSlab(w.batch)
 	}
 	w.pending = append(w.pending, it)
 	if it.mk != nil || len(w.pending) >= w.batch {
@@ -151,16 +151,21 @@ func (w *streamWriter) ship(f frame) bool {
 		w.frames++
 		return true
 	case <-w.env.ctx.Done():
+		// The frame never reached the channel: retract its records from the
+		// transport counters and return what the writer owned to the arena.
 		if f.batch == nil {
 			if f.single.rec != nil {
 				w.records--
+				releaseRecord(f.single.rec)
 			}
 		} else {
 			for _, it := range f.batch {
 				if it.rec != nil {
 					w.records--
+					releaseRecord(it.rec)
 				}
 			}
+			releaseFrameSlab(f.batch)
 		}
 		return false
 	}
@@ -205,17 +210,19 @@ func (w *streamWriter) sendBatchDirect(ctx context.Context, recs []*Record) (int
 		if n == 1 {
 			f = frame{single: item{rec: recs[sent]}}
 		} else {
-			batch := make([]item, n)
-			for i, r := range recs[sent : sent+n] {
-				batch[i] = item{rec: r}
+			batch := acquireFrameSlab(n)
+			for _, r := range recs[sent : sent+n] {
+				batch = append(batch, item{rec: r})
 			}
 			f = frame{batch: batch}
 		}
 		select {
 		case w.ch <- f:
 		case <-w.env.ctx.Done():
+			releaseFrameSlab(f.batch)
 			return sent, ErrCancelled
 		case <-ctx.Done():
+			releaseFrameSlab(f.batch)
 			return sent, ctx.Err()
 		}
 		atomic.AddInt64(&w.directRecords, int64(n))
@@ -233,6 +240,10 @@ func (w *streamWriter) close() {
 	}
 	w.closed = true
 	w.flush()
+	if w.pending != nil && len(w.pending) == 0 {
+		releaseFrameSlab(w.pending)
+		w.pending = nil
+	}
 	close(w.ch)
 	frames := w.frames + atomic.LoadInt64(&w.directFrames)
 	records := w.records + atomic.LoadInt64(&w.directRecords)
@@ -272,6 +283,7 @@ func (r *streamReader) recv() (item, bool) {
 		r.pos++
 		return it, true
 	}
+	r.finishFrame()
 	// Fast path: a frame is already waiting.
 	select {
 	case f, ok := <-r.ch:
@@ -304,6 +316,7 @@ func (r *streamReader) recvTimeout(d time.Duration) (it item, ok bool, timedOut 
 		r.pos++
 		return it, true, false
 	}
+	r.finishFrame()
 	select {
 	case f, fok := <-r.ch:
 		it, ok = r.accept(f, fok)
@@ -325,6 +338,17 @@ func (r *streamReader) recvTimeout(d time.Duration) (it item, ok bool, timedOut 
 		return item{}, false, true
 	case <-r.env.ctx.Done():
 		return item{}, false, false
+	}
+}
+
+// finishFrame returns the consumed frame's slab to the arena.  Called only
+// once the frame is exhausted; the items were handed out by value, so the
+// slab holds no live state.
+func (r *streamReader) finishFrame() {
+	if r.cur != nil {
+		releaseFrameSlab(r.cur)
+		r.cur = nil
+		r.pos = 0
 	}
 }
 
@@ -353,23 +377,28 @@ func (r *streamReader) Discard() {
 	go func() {
 		var n int64
 		for r.pos < len(r.cur) {
-			if r.cur[r.pos].rec != nil {
+			if rec := r.cur[r.pos].rec; rec != nil {
 				n++
+				releaseRecord(rec)
 			}
 			r.pos++
 		}
+		r.finishFrame()
 		countFrame := func(f frame) {
 			if f.batch == nil {
 				if f.single.rec != nil {
 					n++
+					releaseRecord(f.single.rec)
 				}
 				return
 			}
 			for _, it := range f.batch {
 				if it.rec != nil {
 					n++
+					releaseRecord(it.rec)
 				}
 			}
+			releaseFrameSlab(f.batch)
 		}
 		defer func() {
 			if n > 0 {

@@ -98,9 +98,13 @@ func (n *syncNode) run(env *runEnv, in *streamReader, out *streamWriter) {
 			continue
 		}
 		// Merge: earlier patterns take precedence on label clashes.
-		merged := storage[0].Copy()
+		merged := storage[0].copyInto(acquireRecord())
 		for _, s := range storage[1:] {
 			inheritInto(merged, s, merged.Labels())
+		}
+		// The stored records were consumed by the merge; return them.
+		for _, s := range storage {
+			releaseRecord(s)
 		}
 		env.trace(n.label, "out", merged)
 		env.stats.Add("sync."+n.label+".fired", 1)
@@ -116,6 +120,7 @@ func (n *syncNode) run(env *runEnv, in *streamReader, out *streamWriter) {
 	for _, s := range storage {
 		if s != nil {
 			env.stats.Add("sync."+n.label+".starved", 1)
+			releaseRecord(s)
 		}
 	}
 }

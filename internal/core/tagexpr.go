@@ -104,6 +104,12 @@ func (e *binExpr) Eval(tags map[string]int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	return e.apply(a, b)
+}
+
+// apply evaluates the non-short-circuit operators over computed operands; it
+// is shared by the map-environment Eval and the slot-resolved evalTagRec.
+func (e *binExpr) apply(a, b int) (int, error) {
 	switch e.op {
 	case "+":
 		return a + b, nil
@@ -135,6 +141,74 @@ func (e *binExpr) Eval(tags map[string]int) (int, error) {
 		return btoi(a >= b), nil
 	}
 	return 0, &EvalError{Expr: e.String(), Msg: "unknown operator " + e.op}
+}
+
+// evalTagRec evaluates a tag expression directly over a record's tag slots —
+// the runtime's fast path (guards, filter tag assignments).  Unlike Eval it
+// materializes no map: tag references resolve through the record's interned
+// shape.  Foreign TagExpr implementations fall back to Eval over a built
+// environment.
+func evalTagRec(e TagExpr, r *Record) (int, error) {
+	switch e := e.(type) {
+	case intLit:
+		return int(e), nil
+	case tagRef:
+		if i, ok := r.shape.tagSlot(string(e)); ok {
+			return r.tvals[i], nil
+		}
+		return 0, &EvalError{Expr: e.String(), Msg: "tag not present in record"}
+	case *unaryExpr:
+		v, err := evalTagRec(e.x, r)
+		if err != nil {
+			return 0, err
+		}
+		if e.op == '-' {
+			return -v, nil
+		}
+		return btoi(v == 0), nil
+	case *binExpr:
+		a, err := evalTagRec(e.x, r)
+		if err != nil {
+			return 0, err
+		}
+		switch e.op {
+		case "&&":
+			if a == 0 {
+				return 0, nil
+			}
+			b, err := evalTagRec(e.y, r)
+			if err != nil {
+				return 0, err
+			}
+			return btoi(b != 0), nil
+		case "||":
+			if a != 0 {
+				return 1, nil
+			}
+			b, err := evalTagRec(e.y, r)
+			if err != nil {
+				return 0, err
+			}
+			return btoi(b != 0), nil
+		}
+		b, err := evalTagRec(e.y, r)
+		if err != nil {
+			return 0, err
+		}
+		return e.apply(a, b)
+	default:
+		return e.Eval(r.tagMap())
+	}
+}
+
+// tagMap materializes the record's tags as a map — only the compatibility
+// fallback for TagExpr implementations outside this package.
+func (r *Record) tagMap() map[string]int {
+	m := make(map[string]int, len(r.tvals))
+	for i, k := range r.shape.tagNames {
+		m[k] = r.tvals[i]
+	}
+	return m
 }
 
 func (e *binExpr) TagRefs(dst []string) []string {

@@ -31,9 +31,12 @@ type Codec interface {
 // networks over the demo boxes.
 type GenericCodec struct{}
 
-// Decode copies tags and string fields into a fresh record.
+// Decode copies tags and string fields into a fresh record.  The record
+// comes from the runtime's arena: once it enters the network it is recycled
+// by whichever node consumes it, so steady-state ingress traffic allocates
+// no records.
 func (GenericCodec) Decode(w RecordJSON) (*snet.Record, error) {
-	r := snet.NewRecord()
+	r := snet.AcquireRecord()
 	for k, v := range w.Tags {
 		r.SetTag(k, v)
 	}

@@ -196,7 +196,8 @@ func (e *engine) feeder() {
 				// Released: queued input is discarded, not fed.
 				for {
 					select {
-					case <-b.ingress:
+					case r := <-b.ingress:
+						snet.ReleaseRecord(r)
 						moved = true
 						continue
 					default:
@@ -208,6 +209,7 @@ func (e *engine) feeder() {
 			case r := <-b.ingress:
 				moved = true
 				if b.drop.Load() {
+					snet.ReleaseRecord(r)
 					continue
 				}
 				r.SetTag(sessionTag, b.sid)

@@ -168,6 +168,9 @@ func (s *Service) handleRecords(w http.ResponseWriter, r *http.Request) {
 	for _, wire := range req.Records {
 		rec, err := codec.Decode(wire)
 		if err != nil {
+			for _, r := range recs {
+				snet.ReleaseRecord(r)
+			}
 			writeJSON(w, http.StatusBadRequest,
 				map[string]any{"error": err.Error(), "accepted": 0})
 			return
@@ -305,6 +308,9 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 	for _, wire := range req.Records {
 		rec, err := codec.Decode(wire)
 		if err != nil {
+			for _, r := range inputs {
+				snet.ReleaseRecord(r)
+			}
 			writeError(w, err)
 			return
 		}

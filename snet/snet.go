@@ -137,6 +137,29 @@ var (
 	NewStats   = core.NewStats
 )
 
+// Record arena.  The runtime recycles the records it creates internally
+// (filter outputs, box emissions, synchrocell merges) through a process-wide
+// pool; records handed to user code through Handle.Out leave the pool's
+// domain and are reclaimed by the GC as usual.  High-throughput producers
+// can opt into the same economy: AcquireRecord returns a pooled empty
+// record, and ReleaseRecord returns one whose contents are no longer needed
+// (using a record after release panics — ownership transfers completely).
+// PoolStats exposes the acquire/recycle/disown counters leak tests assert
+// on.  Setting SNET_RECORD_POOL=0 disables pooling process-wide.
+type RecordPoolStats = core.RecordPoolStats
+
+var (
+	AcquireRecord = core.AcquireRecord
+	ReleaseRecord = core.ReleaseRecord
+	PoolStats     = core.PoolStats
+)
+
+// DecodeFlat reads one record from its canonical flat wire form (the
+// slot-array layout serialized as-is; see Record.AppendFlat for the
+// encoder).  It returns the record and the remaining bytes, so concatenated
+// records decode as a stream.
+var DecodeFlat = core.DecodeFlat
+
 // Parsers for the textual micro-forms.
 var (
 	ParseSignature     = core.ParseSignature
