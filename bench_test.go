@@ -529,6 +529,55 @@ func benchRecordPlanePipeline(b *testing.B) {
 	b.StopTimer()
 }
 
+// benchRecordPlaneFused is the pipeline shape through a compiled plan at
+// B=1: the fusion pass collapses all 32 taps into one single-goroutine
+// segment, so each op's record moves through the executor's swap buffers
+// instead of 32 stream hops — and must stay just as allocation-free as the
+// stream plane it bypasses.  (With SNET_FUSE=0 the plan runs un-fused; the
+// zero-alloc invariant holds either way.)
+func benchRecordPlaneFused(b *testing.B) {
+	const depth, inflight = 32, 64
+	stages := make([]snet.Node, depth)
+	for i := range stages {
+		stages[i] = snet.Observe(fmt.Sprintf("tap%d", i), nil)
+	}
+	plan := snet.MustCompile(snet.Serial(stages...))
+	h := plan.Start(context.Background(),
+		snet.WithBoxWorkers(1), snet.WithStreamBatch(1))
+	defer drainHandle(h)
+	for i := 0; i < inflight; i++ {
+		if err := h.Send(snet.NewRecord().SetTag("n", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	warmLap := func() {
+		for i := 0; i < inflight; i++ {
+			r, ok := <-h.Out()
+			if !ok {
+				b.Fatal("output closed during warmup")
+			}
+			if err := h.Send(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	warmLap()
+	runtime.GC()
+	warmLap()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, ok := <-h.Out()
+		if !ok {
+			b.Fatal("output closed")
+		}
+		if err := h.Send(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+}
+
 // benchRecordPlaneRouting drives the E16 routing shape — a wide Parallel of
 // per-branch filters — terminated by a sink box, so every pooled filter
 // output is released inside the network and the arena runs as a closed
@@ -580,6 +629,7 @@ func benchRecordPlaneRouting(b *testing.B) {
 // 0 allocs/op on both shapes.
 func BenchmarkRecordPlane(b *testing.B) {
 	b.Run("pipeline", benchRecordPlanePipeline)
+	b.Run("fused", benchRecordPlaneFused)
 	b.Run("routing", benchRecordPlaneRouting)
 }
 
@@ -599,6 +649,7 @@ func TestRecordPlaneZeroAlloc(t *testing.T) {
 		fn   func(*testing.B)
 	}{
 		{"pipeline", benchRecordPlanePipeline},
+		{"fused", benchRecordPlaneFused},
 		{"routing", benchRecordPlaneRouting},
 	} {
 		res := testing.Benchmark(c.fn)

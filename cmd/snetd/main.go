@@ -68,6 +68,7 @@ type config struct {
 	throttle     int                 // fig3 parallel-width throttle m
 	level        int                 // fig3 serial-replication exit level L
 	det          bool
+	fuse         bool                // compile-time pipeline fusion (default on)
 	snetFile     string
 }
 
@@ -89,6 +90,7 @@ func newService(cfg config) (*service.Service, error) {
 		SessionMode: cfg.sessionMode,
 		IdleTimeout: cfg.idleTimeout,
 		Pool:        cfg.pool(),
+		NoFusion:    !cfg.fuse,
 	}
 	registerSudokuNets(svc, opts, cfg)
 	registerWorkloadNets(svc, opts)
@@ -168,6 +170,7 @@ func main() {
 	flag.IntVar(&cfg.throttle, "throttle", 4, "fig3: parallel-width throttle m in {<k>}->{<k>=<k>%m}")
 	flag.IntVar(&cfg.level, "level", 40, "fig3: serial-replication exit level L")
 	flag.BoolVar(&cfg.det, "det", false, "use deterministic combinator variants (|, *, !)")
+	flag.BoolVar(&cfg.fuse, "fuse", true, "fuse chains of lightweight stages into single-goroutine segments at compile time")
 	flag.StringVar(&cfg.snetFile, "snet", "", "also serve every net of this textual S-Net program (demo boxes)")
 	flag.Parse()
 

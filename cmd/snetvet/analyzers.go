@@ -43,7 +43,7 @@ type analyzer struct {
 	run  func(u *unit) []diagnostic
 }
 
-var analyzers = []*analyzer{rawchanAnalyzer, streamdiscardAnalyzer, reservedlitAnalyzer, recordretainAnalyzer}
+var analyzers = []*analyzer{rawchanAnalyzer, streamdiscardAnalyzer, reservedlitAnalyzer, recordretainAnalyzer, fusesafeAnalyzer}
 
 // ---------------------------------------------------------------- rawchan
 

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// --------------------------------------------------------------- fusesafe
+
+// fusesafe pins the two invariants the fusion pass (internal/core/fuse.go)
+// rests on:
+//
+//  1. A fused segment is single-goroutine by contract — that is the whole
+//     point of fusing.  Spawning goroutines or growing channel plumbing
+//     inside fused code reintroduces exactly the per-stage concurrency the
+//     pass removed, silently, and with none of the stream plane's flush,
+//     marker and drain discipline.
+//
+//  2. Records flowing through a fused segment live in the executor's
+//     cur/next buffers (plus the Emitter's src slot while a box invocation
+//     runs).  Retaining one anywhere else — a struct field that outlives
+//     the per-record process() call — aliases an arena record across stage
+//     boundaries, and the arena will recycle it under the stash.
+//
+// The scope is syntactic: functions named fused*/newFused* and methods on
+// fused* receivers in package core.
+var fusesafeAnalyzer = &analyzer{
+	name: "fusesafe",
+	doc:  "keep fused segments single-goroutine and free of record retention",
+	run: func(u *unit) []diagnostic {
+		if u.pkgName() != "core" {
+			return nil
+		}
+		var diags []diagnostic
+		for _, f := range u.files {
+			if strings.HasSuffix(u.filename(f), "_test.go") {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !fusedScope(fn) {
+					continue
+				}
+				w := &fuseWalker{u: u, scope: fn.Name.Name, recs: map[string]bool{}}
+				w.collectRecordVars(fn)
+				w.walk(fn.Body)
+				diags = append(diags, w.diags...)
+			}
+		}
+		return diags
+	},
+}
+
+// fusedScope reports whether fn belongs to the fused executor: by name
+// (fusedX, newFusedX) or by receiver (methods on fused* types).
+func fusedScope(fn *ast.FuncDecl) bool {
+	if strings.HasPrefix(fn.Name.Name, "fused") || strings.HasPrefix(fn.Name.Name, "newFused") {
+		return true
+	}
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && strings.HasPrefix(id.Name, "fused")
+}
+
+// sanctionedRecFields are the only struct fields allowed to hold in-flight
+// records inside a fused segment: the executor's swap buffers and the
+// Emitter's source slot for the currently-running box invocation.
+var sanctionedRecFields = map[string]bool{"cur": true, "next": true, "src": true}
+
+type fuseWalker struct {
+	u     *unit
+	scope string
+	recs  map[string]bool // identifiers known to hold an in-flight record
+	diags []diagnostic
+}
+
+// collectRecordVars gathers the names that carry records through the
+// function: *Record parameters, range variables over the cur/next buffers,
+// and variables bound from indexing them.
+func (w *fuseWalker) collectRecordVars(fn *ast.FuncDecl) {
+	if fn.Type.Params != nil {
+		for _, p := range fn.Type.Params.List {
+			if isRecordPtr(p.Type) {
+				for _, n := range p.Names {
+					w.recs[n.Name] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if id, ok := n.Value.(*ast.Ident); ok && isCurNextExpr(n.X) {
+				w.recs[id.Name] = true
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				idx, ok := rhs.(*ast.IndexExpr)
+				if !ok || !isCurNextExpr(idx.X) {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+					w.recs[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isRecordPtr(t ast.Expr) bool {
+	star, ok := t.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	id, ok := star.X.(*ast.Ident)
+	return ok && id.Name == "Record"
+}
+
+// isCurNextExpr matches x.cur, x.next and slices of them.
+func isCurNextExpr(e ast.Expr) bool {
+	if sl, ok := e.(*ast.SliceExpr); ok {
+		e = sl.X
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	return ok && sanctionedRecFields[sel.Sel.Name] && sel.Sel.Name != "src"
+}
+
+func (w *fuseWalker) walk(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			w.diags = append(w.diags, diagnostic{
+				analyzer: "fusesafe",
+				pos:      w.u.fset.Position(n.Pos()),
+				msg: fmt.Sprintf("go statement in %s: a fused segment is single-goroutine by contract",
+					w.scope),
+			})
+		case *ast.ChanType:
+			w.diags = append(w.diags, diagnostic{
+				analyzer: "fusesafe",
+				pos:      w.u.fset.Position(n.Pos()),
+				msg: fmt.Sprintf("channel plumbing in %s: fused stages hand records over in the cur/next buffers",
+					w.scope),
+			})
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok || sanctionedRecFields[sel.Sel.Name] {
+					continue
+				}
+				if i >= len(n.Rhs) {
+					break
+				}
+				id, ok := n.Rhs[i].(*ast.Ident)
+				if !ok || !w.recs[id.Name] {
+					continue
+				}
+				w.diags = append(w.diags, diagnostic{
+					analyzer: "fusesafe",
+					pos:      w.u.fset.Position(n.Pos()),
+					msg: fmt.Sprintf("record %s retained in field %s across a fused stage boundary: only cur/next/src may hold in-flight records",
+						id.Name, sel.Sel.Name),
+				})
+			}
+		}
+		return true
+	})
+}

@@ -106,6 +106,32 @@ func TestRecordRetainFindsSeededViolations(t *testing.T) {
 	}
 }
 
+// TestFuseSafeFindsSeededViolations checks the fusion-safety analyzer: go
+// statements, channel plumbing and record retention inside fused-scope
+// functions are flagged; the executor's sanctioned idioms (cur/next swap,
+// Emitter src slot, buffer-pointer hand-off) and non-fused functions pass.
+func TestFuseSafeFindsSeededViolations(t *testing.T) {
+	code, _, stderr := runVet(t, "testdata/src/fusesafe")
+	if code != 2 {
+		t.Fatalf("want exit 2, got %d:\n%s", code, stderr)
+	}
+	lines := nonEmptyLines(stderr)
+	if len(lines) != 4 {
+		t.Fatalf("want 4 findings, got %d:\n%s", len(lines), stderr)
+	}
+	wants := []string{
+		"retained in field stash",
+		"go statement in process",
+		"retained in field stash",
+		"channel plumbing in process",
+	}
+	for i, l := range lines {
+		if !strings.Contains(l, wants[i]) {
+			t.Errorf("finding %d: want %q in %s", i, wants[i], l)
+		}
+	}
+}
+
 // TestJSONOutput checks the unitchecker-compatible JSON form: exit 0, all
 // findings keyed by unit then analyzer.
 func TestJSONOutput(t *testing.T) {

@@ -1,0 +1,44 @@
+// Seeded fusesafe violations: a fused executor regrowing per-stage
+// concurrency and stashing in-flight records outside the sanctioned
+// cur/next/src slots.
+package core
+
+type Record struct{ n int }
+
+type fusedBadExec struct {
+	cur, next []*Record
+	stash     *Record
+	feed      chan *Record
+}
+
+func (x *fusedBadExec) process(rec *Record) {
+	x.stash = rec // want: retained in field stash
+	go func() {   // want: go statement
+		x.feed <- rec
+	}()
+	for _, r := range x.cur {
+		x.stash = r                // want: retained in field stash
+		x.next = append(x.next, r) // ok: sanctioned buffer
+	}
+	hold := make(chan *Record, 1) // want: channel plumbing
+	_ = hold
+}
+
+func (x *fusedBadExec) swapOK(rec *Record) {
+	// The sanctioned idioms of the real executor must stay clean: the
+	// Emitter src slot, the buffer-pointer hand-off, the cur/next swap.
+	var em struct {
+		src *Record
+		buf *[]*Record
+	}
+	em.src, em.buf = rec, &x.next
+	x.cur = append(x.cur[:0], rec)
+	last := x.cur[len(x.cur)-1]
+	x.next = append(x.next, last)
+	x.cur, x.next = x.next, x.cur
+	em.src = nil
+}
+
+// plainPump is outside the fused scope: its channel is rawchan's business
+// (not an item/frame channel, so it is clean there too), not fusesafe's.
+func plainPump() chan *Record { return make(chan *Record, 4) }

@@ -32,6 +32,11 @@ type Emitter struct {
 	consumed Variant
 	stopped  bool
 	emitted  int
+	// buf, when non-nil, puts the emitter in buffer mode: outputs are
+	// appended to the fused segment's stage buffer instead of crossing a
+	// stream (fuse.go).  The pointer targets per-run exec state, never a
+	// stack variable, so emitting stays allocation-free.
+	buf *[]*Record
 }
 
 // Out emits one record according to output variant number `variant`
@@ -69,6 +74,20 @@ func (e *Emitter) Out(variant int, vals ...any) error {
 		}
 	}
 	inheritInto(rec, e.src, e.consumed)
+	if e.buf != nil {
+		// Fused path: the segment runs on one goroutine with no stream
+		// between stages, so no send is there to observe cancellation —
+		// check it here so an emit-heavy box cannot outlive its run.
+		if ctxDone(e.env.ctx) {
+			releaseRecord(rec)
+			e.stopped = true
+			return ErrCancelled
+		}
+		e.env.trace(e.box.label, "out", rec)
+		*e.buf = append(*e.buf, rec)
+		e.emitted++
+		return nil
+	}
 	e.env.trace(e.box.label, "out", rec)
 	if !e.out.sendRecord(rec) {
 		e.stopped = true

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // filterNode executes a FilterSpec as a network component.
 type filterNode struct {
@@ -10,6 +14,12 @@ type filterNode struct {
 	// filter's slice of the compile-then-run match tables.  A pure function
 	// of the spec, shared by every run.
 	memo *matchMemo
+	// progs caches the spec compiled to a slot program per input shape
+	// (filterspec.go); like the match memo it is a pure function of the
+	// spec, shared by every run, and bounded by progCount so a pathological
+	// shape churn cannot grow it without limit.
+	progs     sync.Map // *shape -> *filterProg
+	progCount atomic.Int64
 	// Stat keys, concatenated once so per-record accounting never builds a
 	// string.
 	kNomatch, kErrors, kApplied string
@@ -63,6 +73,23 @@ func (f *filterNode) matches(rec *Record) bool {
 	return f.memo.matches(f.spec.Pattern, rec)
 }
 
+// program returns the spec's slot program for the given input shape,
+// compiling and memoizing it on first sight (capped like the routing
+// memos; past the cap the program is still exact, just recompiled).
+func (f *filterNode) program(sh *shape) *filterProg {
+	if p, ok := f.progs.Load(sh); ok {
+		return p.(*filterProg)
+	}
+	p := compileFilterProg(f.spec, sh)
+	if f.progCount.Load() < maxMemoEntries {
+		if prev, loaded := f.progs.LoadOrStore(sh, p); loaded {
+			return prev.(*filterProg)
+		}
+		f.progCount.Add(1)
+	}
+	return p
+}
+
 // score makes filter guards participate in best-match routing: a guarded
 // filter only attracts records its guard admits.
 func (f *filterNode) score(rec *Record) int {
@@ -98,7 +125,13 @@ func (f *filterNode) run(env *runEnv, in *streamReader, out *streamWriter) {
 			}
 			continue
 		}
-		outs, err := f.spec.applyInto(rec, outsBuf, true)
+		var outs []*Record
+		var err error
+		if prog := f.program(rec.shape); !prog.fallback {
+			outs, err = prog.apply(rec, outsBuf)
+		} else {
+			outs, err = f.spec.applyInto(rec, outsBuf, true)
+		}
 		if err != nil {
 			env.error(fmt.Errorf("core: filter %s: %w", f.label, err))
 			env.stats.Add(f.kErrors, 1)

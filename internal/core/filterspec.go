@@ -130,6 +130,171 @@ func (f *FilterSpec) applyInto(rec *Record, dst []*Record, pooled bool) ([]*Reco
 	return outs, nil
 }
 
+// filterProg is a FilterSpec compiled against one input shape: a flat fill
+// program bound to slot indices on both sides.  Where applyInto re-resolves
+// every label per record (shape transitions, binary searches, the inheritance
+// scan), the program resolved them all once — per output record it acquires
+// an arena record, stamps the precomputed output shape, and runs a list of
+// slot-to-slot moves.  Every slot of the output shape is written by exactly
+// one fill, so records come out fully initialized with no clearing pass.
+type filterProg struct {
+	spec *FilterSpec
+	outs []outProg
+	// fallback marks shapes the program cannot serve exactly — a source
+	// field absent from the input shape (applyInto's error path owns the
+	// message) or duplicate item names whose later-wins/first-error ordering
+	// only the interpretive path reproduces.  The runtime then uses
+	// applyInto for this shape.
+	fallback bool
+}
+
+// outProg builds one output record: the interned shape plus the fills.
+type outProg struct {
+	shape  *shape
+	fields []fieldFill
+	tags   []tagFill
+}
+
+// fieldFill copies input field slot src to output field slot dst.
+type fieldFill struct{ dst, src int }
+
+// tagFill writes output tag slot dst: from expr when non-nil, else copied
+// from input tag slot src, else (src < 0) initialized to zero.
+type tagFill struct {
+	dst, src int
+	expr     TagExpr
+}
+
+// compileFilterProg binds spec to one input shape.  The result is exact for
+// the given shape or marked fallback; it never guesses.
+func compileFilterProg(spec *FilterSpec, src *shape) *filterProg {
+	p := &filterProg{spec: spec}
+	for _, items := range spec.Outputs {
+		fieldSrc := map[string]int{}
+		type tagDef struct {
+			src  int
+			expr TagExpr
+		}
+		tagSrc := map[string]tagDef{}
+		for _, it := range items {
+			if it.IsTag {
+				if _, dup := tagSrc[it.Name]; dup {
+					p.fallback = true
+					return p
+				}
+				if it.Expr != nil {
+					tagSrc[it.Name] = tagDef{src: -1, expr: it.Expr}
+					continue
+				}
+				slot := -1
+				if i, ok := src.tagSlot(it.Name); ok && spec.Pattern.Variant.Has(Tag(it.Name)) {
+					slot = i
+				}
+				tagSrc[it.Name] = tagDef{src: slot}
+				continue
+			}
+			if _, dup := fieldSrc[it.Name]; dup {
+				p.fallback = true
+				return p
+			}
+			i, ok := src.fieldSlot(it.Src)
+			if !ok {
+				p.fallback = true
+				return p
+			}
+			fieldSrc[it.Name] = i
+		}
+		// Flow inheritance, resolved statically: every label of the input
+		// shape that is neither consumed by the pattern nor explicitly
+		// produced is a plain copy (mirrors inheritInto over this shape).
+		for i, name := range src.fieldNames {
+			if spec.Pattern.Variant.Has(Field(name)) {
+				continue
+			}
+			if _, explicit := fieldSrc[name]; !explicit {
+				fieldSrc[name] = i
+			}
+		}
+		for i, name := range src.tagNames {
+			if spec.Pattern.Variant.Has(Tag(name)) {
+				continue
+			}
+			if _, explicit := tagSrc[name]; !explicit {
+				tagSrc[name] = tagDef{src: i}
+			}
+		}
+		v := make(Variant, len(fieldSrc)+len(tagSrc))
+		for name := range fieldSrc {
+			v[Field(name)] = struct{}{}
+		}
+		for name := range tagSrc {
+			v[Tag(name)] = struct{}{}
+		}
+		osh := shapeForVariant(v)
+		op := outProg{shape: osh,
+			fields: make([]fieldFill, 0, len(fieldSrc)),
+			tags:   make([]tagFill, 0, len(tagSrc))}
+		for name, s := range fieldSrc {
+			d, _ := osh.fieldSlot(name)
+			op.fields = append(op.fields, fieldFill{dst: d, src: s})
+		}
+		for name, td := range tagSrc {
+			d, _ := osh.tagSlot(name)
+			op.tags = append(op.tags, tagFill{dst: d, src: td.src, expr: td.expr})
+		}
+		p.outs = append(p.outs, op)
+	}
+	return p
+}
+
+// apply is the program's runtime: applyInto for the shape it was compiled
+// against, with outputs built slot-by-slot from the arena.  dst is reused
+// across records like applyInto's; on error every already-built output is
+// returned to the arena.
+func (p *filterProg) apply(rec *Record, dst []*Record) ([]*Record, error) {
+	outs := dst[:0]
+	for oi := range p.outs {
+		op := &p.outs[oi]
+		o := acquireRecord()
+		o.shape = op.shape
+		// Arena records keep their slot capacity across recycling, so after
+		// warmup these resizes are free; every slot is then written by
+		// exactly one fill below.
+		if nf := len(op.shape.fieldNames); cap(o.fvals) >= nf {
+			o.fvals = o.fvals[:nf]
+		} else {
+			o.fvals = make([]any, nf)
+		}
+		if nt := len(op.shape.tagNames); cap(o.tvals) >= nt {
+			o.tvals = o.tvals[:nt]
+		} else {
+			o.tvals = make([]int, nt)
+		}
+		outs = append(outs, o)
+		for _, f := range op.fields {
+			o.fvals[f.dst] = rec.fvals[f.src]
+		}
+		for _, t := range op.tags {
+			switch {
+			case t.expr != nil:
+				v, err := evalTagRec(t.expr, rec)
+				if err != nil {
+					for _, b := range outs {
+						releaseRecord(b)
+					}
+					return nil, fmt.Errorf("filter %s: %w", p.spec, err)
+				}
+				o.tvals[t.dst] = v
+			case t.src >= 0:
+				o.tvals[t.dst] = rec.tvals[t.src]
+			default:
+				o.tvals[t.dst] = 0
+			}
+		}
+	}
+	return outs, nil
+}
+
 // inheritInto implements flow inheritance: every label of src that is not
 // consumed (not in the consumed variant) is copied to dst unless dst already
 // carries the label.

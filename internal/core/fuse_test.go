@@ -1,0 +1,598 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tapChain is the E13/E21 deep-pipeline shape: depth Observe stages, all
+// fusible, so a fused compile collapses the whole chain into one segment.
+func tapChain(depth int) Node {
+	stages := make([]Node, depth)
+	for i := range stages {
+		stages[i] = Observe(fmt.Sprintf("ftap%d", i), nil)
+	}
+	return Serial(stages...)
+}
+
+// seqBox is a sequential (W=1, fusible) box rewriting <seq>.
+func seqBox(name string, f func(int) int) Node {
+	return NewBoxConcurrent(name, MustParseSignature("(<seq>) -> (<seq>)"),
+		func(args []any, out *Emitter) error {
+			return out.Out(1, f(args[0].(int)))
+		}, 1)
+}
+
+func drainAll(h *Handle) []*Record {
+	var out []*Record
+	for r := range h.Out() {
+		out = append(out, r)
+	}
+	h.Wait()
+	return out
+}
+
+// TestFusionTopologyAndGroups pins the compile-side contract: the blueprint
+// tree is untouched, the execution tree is rewritten, and the topology
+// reports which stages fused.
+func TestFusionTopologyAndGroups(t *testing.T) {
+	if !envFuseOn() {
+		t.Skip("SNET_FUSE=0")
+	}
+	net := tapChain(32)
+	plan := MustCompile(net)
+	groups := plan.FusionGroups()
+	if len(groups) != 1 {
+		t.Fatalf("want 1 fusion group, got %v", groups)
+	}
+	if len(groups[0].Members) != 32 {
+		t.Fatalf("want 32 members, got %d", len(groups[0].Members))
+	}
+	for i, m := range groups[0].Members {
+		if want := fmt.Sprintf("ftap%d", i); m != want {
+			t.Fatalf("member %d: want %s, got %s", i, want, m)
+		}
+	}
+	if plan.ExecRoot() == plan.Root() {
+		t.Fatal("ExecRoot should be the rewritten tree")
+	}
+	if _, ok := plan.ExecRoot().(*fusedNode); !ok {
+		t.Fatalf("a fully fusible chain should compile to a single fusedNode, got %T", plan.ExecRoot())
+	}
+	raw, err := json.Marshal(plan.Topology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"fusion_groups"`) {
+		t.Fatal("topology JSON should list fusion groups")
+	}
+	if strings.Contains(string(raw), `"kind":"fused"`) {
+		t.Fatal("the topology tree must keep describing the un-fused blueprint")
+	}
+
+	off := MustCompile(net, WithFusion(false))
+	if off.ExecRoot() != off.Root() {
+		t.Fatal("WithFusion(false): ExecRoot must be Root")
+	}
+	if len(off.FusionGroups()) != 0 {
+		t.Fatal("WithFusion(false): no fusion groups expected")
+	}
+}
+
+// TestFusionBarriers checks the fusible predicate end to end: barriers split
+// the chain, single fusible stages between barriers stay un-fused, and a
+// default-width box never fuses.
+func TestFusionBarriers(t *testing.T) {
+	if !envFuseOn() {
+		t.Skip("SNET_FUSE=0")
+	}
+	wide := NewBox("wide", MustParseSignature("(<seq>) -> (<seq>)"),
+		func(args []any, out *Emitter) error { return out.Out(1, args[0].(int)) })
+	net := Serial(
+		Observe("f_a", nil), Observe("f_b", nil), // fuses (run of 2)
+		wide,                // barrier: inherits WithBoxWorkers
+		Observe("f_c", nil), // lone fusible stage: stays as it is
+		Sync(MustParsePattern("{a}"), MustParsePattern("{b}")), // barrier
+		Observe("f_d", nil), seqBox("f_sq", func(n int) int { return n }), Observe("f_e", nil),
+	)
+	plan := MustCompile(net, WithInputType(RecType{
+		NewVariant(Field("a"), Tag("seq")),
+		NewVariant(Field("b"), Tag("seq")),
+	}))
+	groups := plan.FusionGroups()
+	if len(groups) != 2 {
+		t.Fatalf("want 2 fusion groups, got %v", groups)
+	}
+	if got := groups[0].Members; len(got) != 2 || got[0] != "f_a" || got[1] != "f_b" {
+		t.Fatalf("group 0: %v", got)
+	}
+	if got := groups[1].Members; len(got) != 3 || got[0] != "f_d" || got[1] != "f_sq" || got[2] != "f_e" {
+		t.Fatalf("group 1: %v", got)
+	}
+}
+
+// TestFusionSharedSubtree: a node instance appearing at several graph
+// positions must be rewritten once and stay shared (blueprints are
+// identity-sensitive — stats keys, routing tables).
+func TestFusionSharedSubtree(t *testing.T) {
+	chain := Serial(Observe("sh_a", nil), Observe("sh_b", nil))
+	net := Serial(Split(chain, "k"), Star(chain, MustParsePattern("{<done>}")))
+	fused, groups := fuseTree(net)
+	if len(groups) != 1 {
+		t.Fatalf("shared chain should fuse once, got %v", groups)
+	}
+	s := fused.(*serialNode)
+	split := s.a.(*splitNode)
+	star := s.b.(*starNode)
+	if split.operand != star.operand {
+		t.Fatal("rewritten shared subtree lost its sharing")
+	}
+}
+
+// mixedFusibleNet exercises every fused op kind between two barriers, with
+// multi-output filters and a multi-emit box.
+func mixedFusibleNet() Node {
+	double := NewBoxConcurrent("fm_double", MustParseSignature("(<n>) -> (<n>,<twice>)"),
+		func(args []any, out *Emitter) error {
+			n := args[0].(int)
+			if err := out.Out(1, n, 2*n); err != nil {
+				return err
+			}
+			return out.Out(1, n+100, 2*(n+100))
+		}, 1)
+	return Serial(
+		Observe("fm_tap", nil),
+		MustFilter("{<n>} -> {<n>, <m>=<n>*3}"),
+		double,
+		HideTags("m"),
+		MustFilter("{<twice>} -> {<twice>}; {<twice>=<twice>+1}"),
+	)
+}
+
+// TestFusedMixedChainOutputs compares the fused execution of a mixed chain
+// against the stage-per-goroutine baseline, record for record.
+func TestFusedMixedChainOutputs(t *testing.T) {
+	inputs := func() []*Record {
+		return seqInputs(40, func(i int, r *Record) { r.SetTag("n", i) })
+	}
+	run := func(fuse bool) string {
+		plan := MustCompile(mixedFusibleNet(), WithFusion(fuse),
+			WithInputType(RecType{NewVariant(Tag("n"), Tag("seq"))}))
+		out, _, err := plan.RunAll(context.Background(), inputs(), WithBoxWorkers(1), WithStreamBatch(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderStream(out)
+	}
+	if got, want := run(true), run(false); got != want {
+		t.Fatalf("fused output diverges:\n--- unfused ---\n%s--- fused ---\n%s", want, got)
+	}
+}
+
+// TestFusedSegmentStats: the segment counts its own records/applications on
+// preregistered atomics and the constituent stages keep their counters.
+func TestFusedSegmentStats(t *testing.T) {
+	if !envFuseOn() {
+		t.Skip("SNET_FUSE=0")
+	}
+	net := Serial(
+		Observe("fs_tap", nil),
+		MustFilter("{<n>} -> {<n>, <m>=<n>+1}"),
+		seqBox("fs_box", func(n int) int { return n }),
+	)
+	plan := MustCompile(net, WithInputType(RecType{NewVariant(Tag("n"), Tag("seq"))}))
+	groups := plan.FusionGroups()
+	if len(groups) != 1 {
+		t.Fatalf("want 1 group, got %v", groups)
+	}
+	const n = 25
+	inputs := make([]*Record, n)
+	for i := range inputs {
+		inputs[i] = NewRecord().SetTag("n", i).SetTag("seq", i)
+	}
+	_, stats, err := plan.RunAll(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := groups[0].Name
+	if got := stats.Counter("fused." + g + ".records"); got != n {
+		t.Errorf("fused records: want %d, got %d", n, got)
+	}
+	// tap + filter + box apply once per record each.
+	if got := stats.Counter("fused." + g + ".applied"); got != 3*n {
+		t.Errorf("fused applied: want %d, got %d", 3*n, got)
+	}
+	if got := stats.SumPrefix("filter."); got != n {
+		t.Errorf("constituent filter counters: want %d, got %d", n, got)
+	}
+	if got := stats.Counter("box.fs_box.calls"); got != n {
+		t.Errorf("constituent box calls: want %d, got %d", n, got)
+	}
+	if got := stats.Counter("box.fs_box.instances"); got != 1 {
+		t.Errorf("box instances: want 1, got %d", got)
+	}
+	// The hot keys must appear in the map-shaped accessors like any other.
+	snap := stats.Snapshot()
+	if snap["fused."+g+".records"] != n {
+		t.Errorf("snapshot is missing the fused segment counters: %v", snap)
+	}
+	found := false
+	for _, k := range stats.Keys() {
+		if k == "fused."+g+".records" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Keys() is missing the fused segment counter")
+	}
+	agg := NewStats()
+	agg.Merge(stats)
+	if agg.Counter("fused."+g+".records") != n {
+		t.Error("Merge dropped the preregistered counters")
+	}
+}
+
+// TestFusedPipelineGoroutineBudget: a 32-stage fused pipeline runs on
+// O(barriers) goroutines, not O(stages).
+func TestFusedPipelineGoroutineBudget(t *testing.T) {
+	if !envFuseOn() {
+		t.Skip("SNET_FUSE=0")
+	}
+	measure := func(fuse bool) int {
+		plan := MustCompile(tapChain(32), WithFusion(fuse))
+		runtime.GC()
+		base := runtime.NumGoroutine()
+		h := plan.Start(context.Background())
+		if err := h.Send(NewRecord().SetTag("seq", 1)); err != nil {
+			t.Fatal(err)
+		}
+		<-h.Out()
+		grown := runtime.NumGoroutine() - base
+		h.Close()
+		drainAll(h)
+		return grown
+	}
+	fused, unfused := measure(true), measure(false)
+	// Fused: one segment goroutine plus the boundary pump (and scheduler
+	// noise).  Unfused: 31 serial spawns + the same fixed costs.
+	if fused > 8 {
+		t.Errorf("fused 32-stage pipeline grew %d goroutines, want O(1)", fused)
+	}
+	if unfused < 25 {
+		t.Errorf("unfused baseline grew only %d goroutines — harness no longer measures what it should", unfused)
+	}
+}
+
+// TestFusedArenaClean: graceful drain and hard cancel both return every
+// pooled record to the arena, through multi-output filters and multi-emit
+// boxes inside the segment.
+func TestFusedArenaClean(t *testing.T) {
+	plan := MustCompile(mixedFusibleNet(),
+		WithInputType(RecType{NewVariant(Tag("n"), Tag("seq"))}))
+	inputs := func(n int) []*Record {
+		out := make([]*Record, n)
+		for i := range out {
+			out[i] = AcquireRecord().SetTag("n", i).SetTag("seq", i)
+		}
+		return out
+	}
+
+	base := poolLiveSettled(t)
+	if _, _, err := plan.RunAll(context.Background(), inputs(200), WithStreamBatch(8)); err != nil {
+		t.Fatal(err)
+	}
+	waitPoolLive(t, base)
+
+	// Hard cancel mid-stream: the drainer pulls ~40 records and yanks the
+	// context while the segment is still processing.  Records dropped in
+	// cancelled frames leave the arena without a release (same as the
+	// stage-per-goroutine runtime), so the invariant here is prompt
+	// unwinding, not pool-live parity.
+	gbase := runtime.NumGoroutine()
+	h := plan.Start(context.Background(), WithStreamBatch(8))
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		n := 0
+		for range h.Out() {
+			if n++; n == 40 {
+				h.Cancel()
+			}
+		}
+	}()
+	for _, r := range inputs(200) {
+		if err := h.Send(r); err != nil {
+			releaseRecord(r) // rejected sends stay caller-owned
+		}
+	}
+	h.Close()
+	<-drained
+	h.Wait()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > gbase+3 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > gbase+3 {
+		t.Fatalf("fused segment left goroutines behind after cancel: %d > %d", g, gbase+3)
+	}
+}
+
+// TestFusedBoxFailureIsolation: errors and panics inside a fused box drop
+// the record, count, and keep the segment running — same contract as the
+// stand-alone box engine.
+func TestFusedBoxFailureIsolation(t *testing.T) {
+	faulty := NewBoxConcurrent("ff_box", MustParseSignature("(<seq>) -> (<seq>)"),
+		func(args []any, out *Emitter) error {
+			switch n := args[0].(int); {
+			case n%7 == 3:
+				return errors.New("synthetic failure")
+			case n%7 == 5:
+				panic("synthetic panic")
+			default:
+				return out.Out(1, n)
+			}
+		}, 1)
+	net := Serial(Observe("ff_tap", nil), faulty)
+	plan := MustCompile(net, WithInputType(RecType{NewVariant(Tag("seq"))}))
+	if envFuseOn() && len(plan.FusionGroups()) != 1 {
+		t.Fatal("chain should fuse")
+	}
+	var errCount int
+	out, stats, err := plan.RunAll(context.Background(), seqInputs(70, nil),
+		WithErrorHandler(func(error) { errCount++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 50 {
+		t.Errorf("want 50 surviving records, got %d", len(out))
+	}
+	if errCount != 20 {
+		t.Errorf("want 20 reported errors, got %d", errCount)
+	}
+	if got := stats.Counter("box.ff_box.panics"); got != 10 {
+		t.Errorf("panics: want 10, got %d", got)
+	}
+}
+
+// TestFusedGuardedRoutingPreserved: fusion must not disturb best-match
+// routing — bare guarded filters stay filterNodes (runs < 2 never fuse), and
+// a fused chain branch keeps the serial spine's signature.
+func TestFusedGuardedRoutingPreserved(t *testing.T) {
+	mkNet := func() Node {
+		lo := MustFilter("{<n>} | <n> < 10 -> {<n>, <lo>}")
+		hi := MustFilter("{<n>} | <n> >= 10 -> {<n>, <hi>}")
+		chain := Serial(MustFilter("{<n>, <lo>} -> {<n>, <lo>}"), Observe("gr_tap", nil))
+		// The catch-all branch keeps the static flow total: the checker
+		// cannot know the two guards partition {<n>}.  Both layers are
+		// deterministic so the merge order is a hard guarantee to compare.
+		return Serial(ParallelDet(lo, hi), ParallelDet(chain,
+			MustFilter("{<n>, <hi>} -> {<n>, <hi>}"),
+			MustFilter("{<n>} -> {<n>, <neither>}")))
+	}
+	inputs := func() []*Record {
+		return seqInputs(30, func(i int, r *Record) { r.SetTag("n", i) })
+	}
+	run := func(fuse bool) string {
+		out, _, err := MustCompile(mkNet(), WithFusion(fuse)).
+			RunAll(context.Background(), inputs(), WithBoxWorkers(1), WithStreamBatch(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderStream(out)
+	}
+	if got, want := run(true), run(false); got != want {
+		t.Fatalf("fused routing diverges:\n--- unfused ---\n%s--- fused ---\n%s", want, got)
+	}
+}
+
+// runFusedDetProp is the detprop matrix (detprop_test.go) run in both
+// execution modes: the fused plan must reproduce the un-fused reference
+// byte-for-byte at every (W, B).
+func runFusedDetProp(t *testing.T, mkNet func() Node, inputs func() []*Record) {
+	t.Helper()
+	var want string
+	first := true
+	for _, fuse := range []bool{false, true} {
+		for _, w := range []int{1, 4, 16} {
+			for _, b := range []int{1, 8, 64} {
+				fuse, w, b := fuse, w, b
+				t.Run(fmt.Sprintf("fuse=%v_W%d_B%d", fuse, w, b), func(t *testing.T) {
+					plan, err := Compile(mkNet(), WithFusion(fuse))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if fuse && envFuseOn() && len(plan.FusionGroups()) == 0 {
+						t.Fatal("determinism net should contain fused segments")
+					}
+					out, _, err := plan.RunAll(context.Background(), inputs(),
+						WithBoxWorkers(w), WithStreamBatch(b))
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := renderStream(out)
+					if first {
+						want, first = got, false
+						return
+					}
+					if got != want {
+						t.Fatalf("fuse=%v W=%d B=%d diverges from reference:\n--- want ---\n%s--- got ---\n%s",
+							fuse, w, b, want, got)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFusedDetPropPipeline: a fused chain downstream of a deterministic
+// parallel — sort markers must cross the segment in FIFO position at any
+// (W, B) in either mode.
+func TestFusedDetPropPipeline(t *testing.T) {
+	const n = 36
+	mkNet := func() Node {
+		first := ParallelDet(
+			latencyBox("fda", "a", 400*time.Microsecond),
+			latencyBox("fdb", "b", 150*time.Microsecond),
+		)
+		chain := Serial(
+			MustFilter("{<seq>} -> {<seq>, <h>=<seq>*2}"),
+			seqBox("fd_sq", func(n int) int { return n }),
+			HideTags("h"),
+			Observe("fd_tap", nil),
+		)
+		return Serial(first, chain)
+	}
+	inputs := func() []*Record {
+		return seqInputs(n, func(i int, r *Record) {
+			if i%2 == 0 {
+				r.SetField("a", i)
+			} else {
+				r.SetField("b", i)
+			}
+		})
+	}
+	runFusedDetProp(t, mkNet, inputs)
+}
+
+// TestFusedDetPropNested: the nested-combinator detprop net with a fusible
+// chain spliced between its barriers.
+func TestFusedDetPropNested(t *testing.T) {
+	const n = 24
+	mkNet := func() Node {
+		first := ParallelDet(
+			latencyBox("fna", "a", 300*time.Microsecond),
+			latencyBox("fnb", "b", 120*time.Microsecond),
+		)
+		chain := Serial(
+			MustFilter("{<seq>} -> {<seq>, <k>=<seq>%3}"),
+			Observe("fn_tap", nil),
+		)
+		second := SplitDet(latencyBox2("fns", 500*time.Microsecond), "k")
+		return Serial(first, chain, second)
+	}
+	inputs := func() []*Record {
+		return seqInputs(n, func(i int, r *Record) {
+			if i%2 == 0 {
+				r.SetField("a", i)
+			} else {
+				r.SetField("b", i)
+			}
+		})
+	}
+	runFusedDetProp(t, mkNet, inputs)
+}
+
+// TestFusedStarOperand: star replication over a fused operand — every
+// unfolded replica executes the fused segment.
+func TestFusedStarOperand(t *testing.T) {
+	mkNet := func() Node {
+		dec := NewBoxConcurrent("fst_dec", MustParseSignature("(<n>) -> (<n>) | (<n>,<done>)"),
+			func(args []any, out *Emitter) error {
+				n := args[0].(int)
+				if n <= 0 {
+					return out.Out(2, 0, 1)
+				}
+				return out.Out(1, n-1)
+			}, 1)
+		return NamedStar("fst_loop", Serial(dec, Observe("fst_tap", nil)),
+			MustParsePattern("{<done>}"))
+	}
+	inputs := func() []*Record {
+		return seqInputs(12, func(i int, r *Record) { r.SetTag("n", i%5) })
+	}
+	run := func(fuse bool) int {
+		out, _, err := MustCompile(mkNet(), WithFusion(fuse)).
+			RunAll(context.Background(), inputs(), WithBoxWorkers(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(out)
+	}
+	if got, want := run(true), run(false); got != want {
+		t.Fatalf("fused star output count %d != unfused %d", got, want)
+	}
+}
+
+// TestFilterProgramEquivalence: the compiled slot program must agree with
+// the interpretive applyInto on every supported shape, including flow
+// inheritance, expression tags, zero-init tags and multi-output specs.
+func TestFilterProgramEquivalence(t *testing.T) {
+	cases := []struct {
+		spec string
+		rec  func() *Record
+	}{
+		{"{a,b} -> {a, z=b}", func() *Record {
+			return NewRecord().SetField("a", 1).SetField("b", 2)
+		}},
+		{"{a,<t>} -> {a,<t>}", func() *Record {
+			return NewRecord().SetField("a", 1).SetTag("t", 7)
+		}},
+		{"{a} -> {a,<t>}", func() *Record {
+			return NewRecord().SetField("a", 1).SetTag("t", 9) // <t> not consumed: zero-init wins
+		}},
+		{"{<n>} -> {<n>=<n>+1, <m>=<n>*2}", func() *Record {
+			return NewRecord().SetTag("n", 21)
+		}},
+		{"{a,<n>} -> {a}; {<n>=<n>-1}", func() *Record {
+			return NewRecord().SetField("a", "x").SetTag("n", 3).SetField("extra", 5).SetTag("u", 1)
+		}},
+		{"{x} -> ", func() *Record {
+			return NewRecord().SetField("x", 0).SetTag("keep", 4)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.spec, func(t *testing.T) {
+			spec := MustParseFilter(tc.spec)
+			rec := tc.rec()
+			prog := compileFilterProg(spec, rec.shape)
+			if prog.fallback {
+				t.Fatalf("program for %s fell back on shape %v", tc.spec, rec.ShapeKey())
+			}
+			want, err := spec.Apply(tc.rec())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := prog.apply(rec, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if renderStream(got) != renderStream(want) {
+				t.Fatalf("program output diverges:\n--- applyInto ---\n%s--- program ---\n%s",
+					renderStream(want), renderStream(got))
+			}
+			for _, r := range got {
+				releaseRecord(r)
+			}
+		})
+	}
+}
+
+// TestFilterProgramFallback: shapes the program cannot serve exactly are
+// marked fallback instead of guessed.
+func TestFilterProgramFallback(t *testing.T) {
+	// Source field absent from the input shape: applyInto owns the error.
+	spec := MustParseFilter("{a} -> {z=a}")
+	rec := NewRecord().SetTag("t", 1) // no field a
+	if prog := compileFilterProg(spec, rec.shape); !prog.fallback {
+		t.Error("missing source field should force fallback")
+	}
+	// Duplicate item names: later-wins/first-error ordering is the
+	// interpreter's.
+	dup := &FilterSpec{
+		Pattern: Pattern{Variant: NewVariant(Tag("n"))},
+		Outputs: [][]FilterItem{{
+			{Name: "n", IsTag: true},
+			{Name: "n", IsTag: true, Expr: MustParseTagExpr("<n>+1")},
+		}},
+	}
+	rec2 := NewRecord().SetTag("n", 1)
+	if prog := compileFilterProg(dup, rec2.shape); !prog.fallback {
+		t.Error("duplicate output items should force fallback")
+	}
+}

@@ -9,6 +9,12 @@ package core
 // source-position mapping, split/star configuration) without exposing the
 // unexported node types themselves.  internal/analysis consumes it together
 // with the Flow* accessors below.
+//
+// Both views are built from Plan.Root(), the un-fused blueprint — never
+// from the fusion-rewritten execution tree (fuse.go) — so analysis findings
+// and flow facts see through fusion groups: every constituent stage of a
+// fused segment keeps its own GraphNode, path and flow facts.  Which stages
+// are fused is reported separately (Topology.FusionGroups).
 
 // GraphNode is one node of the compiled network's structured graph.  Paths
 // and kinds match Topology exactly, so flow facts recorded by the compile

@@ -112,15 +112,28 @@ type Topology struct {
 	Exit     string      `json:"exit,omitempty"`
 	Patterns []string    `json:"patterns,omitempty"` // synchrocell patterns
 	Children []*Topology `json:"children,omitempty"`
+	// FusionGroups, on the root topology only, lists the fused segments of
+	// the execution plan: which stages run collapsed into one goroutine
+	// (fuse.go).  The tree itself always describes the un-fused blueprint.
+	FusionGroups []FusionGroup `json:"fusion_groups,omitempty"`
 }
 
 // compileCfg collects CompileOptions.
 type compileCfg struct {
 	input RecType
+	fuse  bool
 }
 
 // CompileOption configures Compile.
 type CompileOption func(*compileCfg)
+
+// WithFusion enables or disables the pipeline-fusion pass (fuse.go).  It is
+// on by default; WithFusion(false) keeps the execution plan stage-per-
+// goroutine, which is the measured baseline of the E22 experiment and the
+// programmatic form of the SNET_FUSE=0 triage switch.
+func WithFusion(on bool) CompileOption {
+	return func(c *compileCfg) { c.fuse = on }
+}
 
 // WithInputType declares the network's input type, overriding bottom-up
 // inference as the seed of the shape-flow diagnostics: the compile contract
@@ -136,6 +149,8 @@ func WithInputType(t RecType) CompileOption {
 // all runs share the plan's routing tables.
 type Plan struct {
 	root     Node
+	execRoot Node // fusion-rewritten blueprint; == root when nothing fused
+	groups   []FusionGroup
 	in, out  RecType
 	warnings []Diagnostic
 	typeErrs []*TypeError
@@ -152,16 +167,20 @@ func Compile(root Node, opts ...CompileOption) (*Plan, error) {
 	if root == nil {
 		panic("core: Compile: nil root")
 	}
-	var cfg compileCfg
+	cfg := compileCfg{fuse: true}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	chk := &checker{}
 	in, out := root.sig(chk)
-	p := &Plan{root: root, in: in, out: out, warnings: chk.diags}
+	p := &Plan{root: root, execRoot: root, in: in, out: out, warnings: chk.diags}
 
 	c := newCompiler()
 	p.topo = c.walk(root, "")
+	if cfg.fuse && envFuseOn() {
+		p.execRoot, p.groups = fuseTree(root)
+		p.topo.FusionGroups = p.groups
+	}
 	seed := cfg.input
 	if seed == nil {
 		seed = in
@@ -187,6 +206,17 @@ func MustCompile(root Node, opts ...CompileOption) *Plan {
 
 // Root returns the compiled blueprint.
 func (p *Plan) Root() Node { return p.root }
+
+// ExecRoot returns the tree runs actually execute: the fusion-rewritten
+// blueprint (fuse.go), or Root when the plan compiled with fusion off or
+// nothing fused.  Engines that instantiate runs themselves (the shared-mode
+// session engine wraps the network under its own session split) must wrap
+// ExecRoot, not Root, to inherit the fused execution plan.
+func (p *Plan) ExecRoot() Node { return p.execRoot }
+
+// FusionGroups lists the fused segments of the execution plan in discovery
+// order — empty when fusion is off or nothing fused.
+func (p *Plan) FusionGroups() []FusionGroup { return p.groups }
 
 // In returns the network's inferred input type.
 func (p *Plan) In() RecType { return p.in }
@@ -214,17 +244,17 @@ func (p *Plan) String() string {
 // blueprint was checked and its routing tables built at Compile time, so
 // instantiation is pure runtime setup.
 func (p *Plan) Start(ctx context.Context, opts ...Option) *Handle {
-	return Start(ctx, p.root, opts...)
+	return Start(ctx, p.execRoot, opts...)
 }
 
 // RunAll is the Plan form of the RunAll harness.
 func (p *Plan) RunAll(ctx context.Context, inputs []*Record, opts ...Option) ([]*Record, *Stats, error) {
-	return RunAll(ctx, p.root, inputs, opts...)
+	return RunAll(ctx, p.execRoot, inputs, opts...)
 }
 
 // RunUntil is the Plan form of the RunUntil harness.
 func (p *Plan) RunUntil(ctx context.Context, inputs []*Record, stop func(*Record) bool, opts ...Option) (*Record, *Stats, error) {
-	return RunUntil(ctx, p.root, inputs, stop, opts...)
+	return RunUntil(ctx, p.execRoot, inputs, stop, opts...)
 }
 
 // maxCompileErrors caps the error list of one Compile.

@@ -29,6 +29,12 @@ type Stats struct {
 	hotFrames  atomic.Int64 // "stream.frames"
 	hotRecords atomic.Int64 // "stream.records"
 	hotHWM     atomic.Int64 // "stream.frame.hwm" (a maximum, not a sum)
+
+	// hot holds additional preregistered atomic counters, keyed by stat
+	// name — per-fused-segment record counters above all.  The map is built
+	// by preregister before a run's goroutines launch and is read-only
+	// afterwards, so lookups are lock-free.
+	hot map[string]*atomic.Int64
 }
 
 // The preregistered hot-counter keys.
@@ -48,6 +54,22 @@ func atomicMax(a *atomic.Int64, v int64) {
 		cur := a.Load()
 		if v <= cur || a.CompareAndSwap(cur, v) {
 			return
+		}
+	}
+}
+
+// preregister installs lock-free atomic counters for keys whose traffic is
+// known ahead of a run — Start calls it for every fused segment's per-record
+// keys before any run goroutine launches.  It must not be called once the
+// collector is in concurrent use: the hot map is immutable thereafter, which
+// is exactly what makes its reads fence-free.
+func (s *Stats) preregister(keys ...string) {
+	if s.hot == nil {
+		s.hot = make(map[string]*atomic.Int64, len(keys))
+	}
+	for _, k := range keys {
+		if _, ok := s.hot[k]; !ok {
+			s.hot[k] = new(atomic.Int64)
 		}
 	}
 }
@@ -73,6 +95,11 @@ func (s *Stats) Merge(o *Stats) {
 	s.hotFrames.Add(o.hotFrames.Load())
 	s.hotRecords.Add(o.hotRecords.Load())
 	atomicMax(&s.hotHWM, o.hotHWM.Load())
+	for k, c := range o.hot {
+		if v := c.Load(); v != 0 {
+			s.Add(k, v)
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for k, v := range counters {
@@ -92,6 +119,9 @@ func (s *Stats) Add(key string, delta int64) int64 {
 		return s.hotFrames.Add(delta)
 	case statStreamRecords:
 		return s.hotRecords.Add(delta)
+	}
+	if c := s.hot[key]; c != nil {
+		return c.Add(delta)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -119,6 +149,9 @@ func (s *Stats) Counter(key string) int64 {
 		return s.hotFrames.Load()
 	case statStreamRecords:
 		return s.hotRecords.Load()
+	}
+	if c := s.hot[key]; c != nil {
+		return c.Load()
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -151,6 +184,11 @@ func (s *Stats) hotSnapshot() []hotKV {
 	}
 	if v := s.hotRecords.Load(); v != 0 {
 		out = append(out, hotKV{statStreamRecords, v})
+	}
+	for k, c := range s.hot {
+		if v := c.Load(); v != 0 {
+			out = append(out, hotKV{k, v})
+		}
 	}
 	return out
 }

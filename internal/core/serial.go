@@ -4,6 +4,12 @@ import "sync"
 
 // serialNode is the serial combinator A..B: the output stream of A feeds the
 // input stream of B; the pair operates as a pipeline (§4).
+//
+// This is the general form — one goroutine and one bounded stream per
+// stage.  Compile's fusion pass (fuse.go) collapses runs of lightweight
+// stages on a serial spine into single-goroutine fusedNodes, so in a
+// compiled plan the serialNodes that remain are the ones separating true
+// concurrency barriers.
 type serialNode struct {
 	label string
 	a, b  Node

@@ -69,7 +69,10 @@ func newEngine(n *Network) (*engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	root := plan.Root()
+	// The session split wraps the *execution* tree: with fusion on, every
+	// session replica then unfolds the fused segments — O(barriers)
+	// goroutines per session instead of O(stages).
+	root := plan.ExecRoot()
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &engine{
 		net:        n,

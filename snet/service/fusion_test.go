@@ -1,0 +1,114 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/snet"
+)
+
+// Fusion at the service layer: a shared engine unfolds one session replica
+// per client, and with the fusion pass on, each replica of a lightweight
+// pipeline is a single goroutine instead of one per stage.
+
+// deepFusibleNet is a depth-stage chain of Observe taps — entirely fusible,
+// the service-side analogue of the E13 deep-pipeline shape.
+func deepFusibleNet(depth int) func(Options) (snet.Node, error) {
+	return func(Options) (snet.Node, error) {
+		stages := make([]snet.Node, depth)
+		for i := range stages {
+			stages[i] = snet.Observe(fmt.Sprintf("dtap%d", i), nil)
+		}
+		return snet.Serial(stages...), nil
+	}
+}
+
+func fuseEnvOff() bool { return os.Getenv("SNET_FUSE") == "0" }
+
+// TestSharedFusedOpenWaveStaysFlat: opening S=1024 shared sessions on a
+// warm fused deep pipeline spawns no per-stage goroutines — Open stays a
+// map insert whatever the stage count behind the engine.
+func TestSharedFusedOpenWaveStaysFlat(t *testing.T) {
+	svc := New()
+	svc.Register("deep", "", sharedOpts(Options{BufferSize: 2, MaxSessions: -1}),
+		deepFusibleNet(32), nil)
+	defer svc.Shutdown()
+	warm, err := svc.Open("deep") // pays the engine instantiation
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Release()
+	base := goroutineCount()
+	const wave = 1024
+	sessions := make([]*Session, wave)
+	for i := range sessions {
+		if sessions[i], err = svc.Open("deep"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if grew := goroutineCount() - base; grew > 4 {
+		t.Fatalf("opening %d warm sessions on a fused pipeline grew goroutines by %d", wave, grew)
+	}
+	for _, sess := range sessions {
+		sess.Release()
+	}
+}
+
+// TestSharedFusedSessionGoroutineBudget drives live session replicas
+// through a 32-stage pipeline in both execution modes: with fusion each
+// replica costs O(1) goroutines, without it O(depth) — the shared engine's
+// capacity story at scale rests on this gap.
+func TestSharedFusedSessionGoroutineBudget(t *testing.T) {
+	if fuseEnvOff() {
+		t.Skip("SNET_FUSE=0")
+	}
+	const depth = 32
+	const live = 8
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	measure := func(noFuse bool) int {
+		svc := New()
+		svc.Register("deep", "", sharedOpts(Options{
+			BufferSize: 2, MaxSessions: -1, NoFusion: noFuse,
+		}), deepFusibleNet(depth), nil)
+		defer svc.Shutdown()
+		warm, err := svc.Open("deep")
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm.Release()
+		base := goroutineCount()
+		sessions := make([]*Session, live)
+		for i := range sessions {
+			if sessions[i], err = svc.Open("deep"); err != nil {
+				t.Fatal(err)
+			}
+			// The replica unfolds on the first record; pull it back out so
+			// the pipeline is demonstrably live, then keep the session open.
+			if err = sessions[i].Send(ctx, recN(i)); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err = sessions[i].Recv(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		grew := goroutineCount() - base
+		for _, sess := range sessions {
+			sess.Release()
+		}
+		return grew
+	}
+	fused, unfused := measure(false), measure(true)
+	if fused > live*8 {
+		t.Errorf("%d fused replicas grew %d goroutines, want O(1) per replica", live, fused)
+	}
+	if unfused < live*(depth-8) {
+		t.Errorf("unfused baseline grew only %d goroutines — harness no longer measures per-stage cost", unfused)
+	}
+	if fused*3 > unfused {
+		t.Errorf("fused replicas not materially lighter: fused=%d unfused=%d", fused, unfused)
+	}
+}

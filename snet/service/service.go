@@ -123,6 +123,12 @@ type Options struct {
 	// protocol regardless; this knob additionally covers splits inside the
 	// user's network.
 	ReplicaIdleReap time.Duration
+	// NoFusion compiles the network with the pipeline-fusion pass off
+	// (snet.WithFusion(false)): every stage keeps its own goroutine and
+	// stream.  The zero value — fusion on — is right for production; the
+	// knob exists for triage and baseline measurement (snetd -fuse=false,
+	// SNET_FUSE=0).
+	NoFusion bool
 }
 
 // DefaultMaxSessions is the session cap applied when Options.MaxSessions is
@@ -238,7 +244,7 @@ func (n *Network) Plan() (*snet.Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, cerr := snet.Compile(root)
+	plan, cerr := snet.Compile(root, snet.WithFusion(!n.opts.NoFusion))
 	n.plan = plan
 	n.planDone = true
 	if cerr != nil {

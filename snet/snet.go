@@ -108,15 +108,24 @@ type (
 	NoRouteError = core.NoRouteError
 	// Topology is the serializable typed graph of a compiled network.
 	Topology = core.Topology
+	// FusionGroup names one fused segment of a compiled plan and its
+	// constituent stages (Topology.FusionGroups, Plan.FusionGroups).
+	FusionGroup = core.FusionGroup
 )
 
 // Compile type-checks a network and returns its Plan; MustCompile panics on
 // type errors.  WithInputType declares the network's input type instead of
 // inferring it bottom-up.  The TypeError codes are the ErrCode constants.
+// WithFusion toggles the compile-time pipeline-fusion pass (default on):
+// maximal chains of lightweight stages — filters, Observe taps, HideTags,
+// and boxes pinned to sequential invocation — collapse into single-goroutine
+// fused segments with no streams between stages.  SNET_FUSE=0 disables the
+// pass process-wide for triage.
 var (
 	Compile       = core.Compile
 	MustCompile   = core.MustCompile
 	WithInputType = core.WithInputType
+	WithFusion    = core.WithFusion
 )
 
 // TypeError codes.
