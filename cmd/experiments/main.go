@@ -9,7 +9,8 @@
 //
 // The workload-suite experiments (E17 wavefront, E18 divide-and-conquer,
 // E19 HTTP request/response, E20 static liveness analysis, E21 record
-// plane, E22 pipeline fusion) additionally persist machine-readable results:
+// plane, E22 pipeline fusion, E23 deadlock & boundedness verifier)
+// additionally persist machine-readable results:
 // their data points are merged into the -bench-out file (schema-validated
 // after writing), so successive PRs can diff the performance trajectory.
 // -smoke shrinks them to CI sizes without changing the sweep structure.
@@ -33,8 +34,8 @@ func main() {
 		grain    = flag.Int("grain", 0, "with-loop minimum chunk size for every pool (0: per-experiment default)")
 		batch    = flag.Int("stream-batch", 0, "stream batch size B for every run (0: runtime default; E13/E14 sweep B regardless)")
 		only     = flag.String("only", "", "run a single experiment (e.g. E3)")
-		smoke    = flag.Bool("smoke", false, "shrink the workload experiments (E17-E22) to CI-smoke sizes")
-		benchOut = flag.String("bench-out", "BENCH_9.json", "merge E17-E22 machine-readable results into this file (empty: don't write)")
+		smoke    = flag.Bool("smoke", false, "shrink the workload experiments (E17-E23) to CI-smoke sizes")
+		benchOut = flag.String("bench-out", "BENCH_10.json", "merge E17-E23 machine-readable results into this file (empty: don't write)")
 		fuse     = flag.Bool("fuse", true, "keep the compile-time fusion pass on (false sets SNET_FUSE=0 for every run)")
 	)
 	flag.Parse()
@@ -65,6 +66,7 @@ func main() {
 		workload(bench.E20Lint)
 		workload(bench.E21RecordPlane)
 		workload(bench.E22PipelineFusion)
+		workload(bench.E23Verify)
 	} else {
 		switch strings.ToUpper(*only) {
 		case "E1":
@@ -105,6 +107,8 @@ func main() {
 			workload(bench.E21RecordPlane)
 		case "E22":
 			workload(bench.E22PipelineFusion)
+		case "E23":
+			workload(bench.E23Verify)
 		default:
 			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (E7 is covered by unit tests)\n", *only)
 			os.Exit(2)

@@ -56,20 +56,21 @@ import (
 
 // config collects the deployment knobs shared by serve and demo mode.
 type config struct {
-	workers      int                 // with-loop pool width inside the boxes
-	grain        int                 // with-loop minimum chunk size (0: sched default)
-	boxWorkers   int                 // concurrent invocations per box node (0: GOMAXPROCS)
-	buffer       int                 // stream buffer capacity (frames) per network instance
-	streamBatch  int                 // stream batch size B (0: runtime default)
-	maxSessions  int                 // per-network concurrent session cap
-	sessionMode  service.SessionMode // isolated: instance per session; shared: warm engine
-	idleTimeout  time.Duration       // abandoned-session reaping threshold
-	drainTimeout time.Duration       // graceful-shutdown session drain deadline
-	throttle     int                 // fig3 parallel-width throttle m
-	level        int                 // fig3 serial-replication exit level L
-	det          bool
-	fuse         bool                // compile-time pipeline fusion (default on)
-	snetFile     string
+	workers       int                 // with-loop pool width inside the boxes
+	grain         int                 // with-loop minimum chunk size (0: sched default)
+	boxWorkers    int                 // concurrent invocations per box node (0: GOMAXPROCS)
+	buffer        int                 // stream buffer capacity (frames) per network instance
+	streamBatch   int                 // stream batch size B (0: runtime default)
+	maxSessions   int                 // per-network concurrent session cap
+	sessionMode   service.SessionMode // isolated: instance per session; shared: warm engine
+	idleTimeout   time.Duration       // abandoned-session reaping threshold
+	drainTimeout  time.Duration       // graceful-shutdown session drain deadline
+	throttle      int                 // fig3 parallel-width throttle m
+	level         int                 // fig3 serial-replication exit level L
+	det           bool
+	fuse          bool // compile-time pipeline fusion (default on)
+	allowDeadlock bool // serve .snet nets the verifier flags as deadlock-positive
+	snetFile      string
 }
 
 // pool builds the with-loop pool from the worker and grain flags
@@ -95,7 +96,7 @@ func newService(cfg config) (*service.Service, error) {
 	registerSudokuNets(svc, opts, cfg)
 	registerWorkloadNets(svc, opts)
 	if cfg.snetFile != "" {
-		if err := registerLangNets(svc, opts, cfg.snetFile); err != nil {
+		if err := registerLangNets(svc, opts, cfg.snetFile, cfg.allowDeadlock); err != nil {
 			return nil, err
 		}
 	}
@@ -171,6 +172,7 @@ func main() {
 	flag.IntVar(&cfg.level, "level", 40, "fig3: serial-replication exit level L")
 	flag.BoolVar(&cfg.det, "det", false, "use deterministic combinator variants (|, *, !)")
 	flag.BoolVar(&cfg.fuse, "fuse", true, "fuse chains of lightweight stages into single-goroutine segments at compile time")
+	flag.BoolVar(&cfg.allowDeadlock, "allow-deadlock", false, "serve -snet nets the static verifier flags as deadlock-positive (refused by default)")
 	flag.StringVar(&cfg.snetFile, "snet", "", "also serve every net of this textual S-Net program (demo boxes)")
 	flag.Parse()
 

@@ -21,16 +21,31 @@ import (
 // before the first session opens, not in a debugging session afterwards.
 var lintOut io.Writer = os.Stderr
 
-// lintNetwork compiles one network blueprint and logs every liveness
-// finding.  Compile errors are ignored here: the Go-built networks are
-// trusted to type-check (their tests compile them), and the lang path
-// reports compile errors through its own refuse-startup check.
+// lintNetwork compiles one network blueprint and logs its verifier verdict
+// and every liveness finding.  Compile errors are ignored here: the
+// Go-built networks are trusted to type-check (their tests compile them),
+// and the lang path reports compile errors through its own refuse-startup
+// check.
 func lintNetwork(name string, node snet.Node) {
 	plan, _ := snet.Compile(node)
 	if plan == nil {
 		return
 	}
-	logFindings(name, analysis.Analyze(plan))
+	logVerdict(name, analysis.Analyze(plan))
+}
+
+// logVerdict logs the deadlock & boundedness verdict, then the findings.
+func logVerdict(name string, rep *analysis.Report) {
+	if rep == nil {
+		return
+	}
+	if rep.DeadlockFree() {
+		fmt.Fprintf(lintOut, "snetd: net %s: verified deadlock-free, static memory bound %s\n",
+			name, rep.Bound)
+	} else {
+		fmt.Fprintf(lintOut, "snetd: net %s: DEADLOCK-POSITIVE\n", name)
+	}
+	logFindings(name, rep)
 }
 
 func logFindings(name string, rep *analysis.Report) {
@@ -174,7 +189,11 @@ func demoRegistry() *lang.Registry {
 
 // registerLangNets parses a textual S-Net program and registers every net
 // it defines, bound against the demo box registry, under its own name.
-func registerLangNets(svc *service.Service, opts service.Options, path string) error {
+// Deadlock-positive nets — those the verifier flags with sync starvation,
+// wait-for cycles or unbounded replication — refuse registration unless
+// allowDeadlock (snetd -allow-deadlock) is set, in which case they are
+// served with the counterexample logged.
+func registerLangNets(svc *service.Service, opts service.Options, path string, allowDeadlock bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -205,7 +224,10 @@ func registerLangNets(svc *service.Service, opts service.Options, path string) e
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
-		logFindings(name, rep)
+		logVerdict(name, rep)
+		if rep != nil && !rep.DeadlockFree() && !allowDeadlock {
+			return fmt.Errorf("%s: net %s is deadlock-positive (see the counterexample traces above); refusing registration — override with -allow-deadlock", path, name)
+		}
 		svc.Register(name, "from "+path, opts,
 			func(service.Options) (snet.Node, error) {
 				return lang.Build(prog, name, reg)

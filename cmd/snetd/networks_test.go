@@ -29,7 +29,8 @@ func captureLint(t *testing.T) *bytes.Buffer {
 
 // TestBuiltinNetworksLintClean pins that every network the daemon ships —
 // the three sudoku figures and the two workload nets — registers without a
-// single liveness finding.
+// single liveness finding: the log carries one verified-deadlock-free
+// verdict line (with its finite memory bound) per network and nothing else.
 func TestBuiltinNetworksLintClean(t *testing.T) {
 	buf := captureLint(t)
 	svc, err := newService(config{workers: 1, throttle: 4, level: 40})
@@ -37,28 +38,58 @@ func TestBuiltinNetworksLintClean(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer svc.Shutdown()
-	if buf.Len() != 0 {
-		t.Errorf("built-in networks produced lint findings:\n%s", buf.String())
+	verdicts := 0
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		if !strings.Contains(line, "verified deadlock-free, static memory bound") {
+			t.Errorf("unexpected lint output: %s", line)
+		}
+		verdicts++
+	}
+	if verdicts != 5 {
+		t.Errorf("want 5 verdict lines (fig1-3, webpipe, wavefront), got %d:\n%s", verdicts, buf.String())
+	}
+}
+
+// TestLangNetworkDeadlockRefused pins the admission side of the verifier:
+// a textual net with a starving synchrocell is deadlock-positive, so the
+// daemon refuses to register it by default, pointing at -allow-deadlock.
+func TestLangNetworkDeadlockRefused(t *testing.T) {
+	captureLint(t)
+	path := filepath.Join(t.TempDir(), "halfsync.snet")
+	if err := os.WriteFile(path, []byte(starvingNet), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := newService(config{workers: 1, throttle: 4, level: 40, snetFile: path})
+	if err == nil {
+		t.Fatal("deadlock-positive net must refuse registration by default")
+	}
+	for _, want := range []string{"deadlock-positive", "-allow-deadlock"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("refusal error misses %q: %v", want, err)
+		}
 	}
 }
 
 // TestLangNetworkLintLoggedAtRegistration registers a textual net with a
-// starving synchrocell and checks the finding lands in the daemon log —
-// with its code, node path, and .snet source position — while the network
-// still registers (findings warn, they do not refuse startup).
+// starving synchrocell under -allow-deadlock and checks the finding lands
+// in the daemon log — with its code, node path, .snet source position, and
+// the counterexample trace — while the network still registers.
 func TestLangNetworkLintLoggedAtRegistration(t *testing.T) {
 	buf := captureLint(t)
 	path := filepath.Join(t.TempDir(), "halfsync.snet")
 	if err := os.WriteFile(path, []byte(starvingNet), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	svc, err := newService(config{workers: 1, throttle: 4, level: 40, snetFile: path})
+	svc, err := newService(config{workers: 1, throttle: 4, level: 40, snetFile: path, allowDeadlock: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer svc.Shutdown()
 	if _, err := svc.Network("halfsync"); err != nil {
-		t.Fatalf("net with findings must still register: %v", err)
+		t.Fatalf("net with findings must still register under -allow-deadlock: %v", err)
 	}
 	log := buf.String()
 	if !strings.Contains(log, "snetd: net halfsync:") {
@@ -66,6 +97,12 @@ func TestLangNetworkLintLoggedAtRegistration(t *testing.T) {
 	}
 	if !strings.Contains(log, "sync-starvation") {
 		t.Errorf("log misses the sync-starvation code:\n%s", log)
+	}
+	if !strings.Contains(log, "DEADLOCK-POSITIVE") {
+		t.Errorf("log misses the verdict line:\n%s", log)
+	}
+	if !strings.Contains(log, "trace[0]") {
+		t.Errorf("log misses the counterexample trace:\n%s", log)
 	}
 	// The finding must carry the synchrocell's source position (line 4 of
 	// the program, the "[|" site) so the log points back into the file.

@@ -6,6 +6,7 @@
 //
 //	snetrun [-net name] [-run] [-stream-batch B] [-record '{<n>=5}']... file.snet
 //	snetrun -check [-lint[=strict]] file.snet...  # static diagnostics only
+//	snetrun -verify [-json] [-budget N] file.snet...  # deadlock & boundedness verifier
 //	snetrun -list           # show the built-in demo boxes
 //
 // -check compiles every net of the given files (snet.Compile through the
@@ -21,6 +22,16 @@
 // hazards — as warnings with node paths and source positions.  -lint=strict
 // makes findings count toward the nonzero exit status, the CI
 // configuration.  -lint implies -check.
+//
+// -verify runs the whole-plan deadlock & boundedness verifier: for every
+// net it reports whether the coordination structure is deadlock-free, the
+// static memory high-water bound (records) under the default capacity
+// assumptions, and a counterexample trace — the ordered chain of graph
+// edges with their blocking fill states — for every deadlock-class finding.
+// -budget N adds an admission check (finite bound above N records is a
+// capacity-overflow finding); -json emits the snet-verify/1 document for
+// machine consumption.  The exit status is nonzero iff any net fails to
+// compile, is deadlock-positive, or exceeds the budget.
 //
 // Record literals accept tags (<t>=int) and string fields (name=text).
 //
@@ -130,6 +141,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		netName = fs.String("net", "", "net to build (default: last net in the file)")
 		doRun   = fs.Bool("run", false, "run the network on the given -record inputs")
 		check   = fs.Bool("check", false, "compile-only static diagnostics for every net of the given file(s)")
+		verify  = fs.Bool("verify", false, "run the deadlock & boundedness verifier over every net of the given file(s)")
+		jsonOut = fs.Bool("json", false, "with -verify: emit the machine-readable "+verifySchema+" document")
+		budget  = fs.Int64("budget", 0, "with -verify: memory budget in records; a finite bound above it is a capacity-overflow finding")
 		list    = fs.Bool("list", false, "list built-in demo boxes")
 		batch   = fs.Int("stream-batch", 0, "stream batch size B (0: runtime default)")
 		records recordFlags
@@ -144,6 +158,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *list {
 		fmt.Fprintln(stdout, "inc dec double split2 echo")
 		return nil
+	}
+	if *verify {
+		if fs.NArg() == 0 {
+			return fmt.Errorf("usage: snetrun -verify [-json] [-budget N] file.snet...")
+		}
+		caps := analysis.DefaultCaps()
+		caps.MemoryBudget = *budget
+		if *batch > 0 {
+			caps.StreamBatch = *batch
+		}
+		return runVerify(fs.Args(), *netName, caps, *jsonOut, stdout)
 	}
 	if *check || lint != lintOff {
 		if fs.NArg() == 0 {

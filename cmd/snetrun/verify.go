@@ -1,0 +1,178 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/snet/lang"
+)
+
+// The -verify mode: the whole-plan deadlock & boundedness verifier.  For
+// every net of every file it prints (or, with -json, emits machine-readable)
+// the verdict — deadlock-free or not, the static memory high-water bound,
+// and a counterexample trace for every deadlock-class finding.  The exit
+// status is nonzero iff any file fails to parse or compile, any net is
+// deadlock-positive, or (with -budget) any bound exceeds the budget.
+
+// verifySchema versions the -verify -json output; consumers must reject
+// schemas they do not know.
+const verifySchema = "snet-verify/1"
+
+// verifyOutput is the top-level -verify -json document.
+type verifyOutput struct {
+	Schema string       `json:"schema"`
+	Files  []verifyFile `json:"files"`
+	OK     bool         `json:"ok"`
+}
+
+type verifyFile struct {
+	Path  string      `json:"path"`
+	Error string      `json:"error,omitempty"` // parse/read failure
+	Nets  []verifyNet `json:"nets,omitempty"`
+}
+
+type verifyNet struct {
+	Net          string          `json:"net"`
+	DeadlockFree bool            `json:"deadlockFree"`
+	Bound        *analysis.Bound `json:"bound,omitempty"`
+	Caps         analysis.Caps   `json:"caps"`
+	Nodes        int             `json:"nodes"`
+	Edges        int             `json:"edges"`
+	TypeErrors   []string        `json:"typeErrors,omitempty"`
+	Findings     []verifyFinding `json:"findings,omitempty"`
+}
+
+type verifyFinding struct {
+	Code    string               `json:"code"`
+	Path    string               `json:"path"`
+	Node    string               `json:"node"`
+	Variant string               `json:"variant,omitempty"`
+	Msg     string               `json:"msg"`
+	Pos     string               `json:"pos,omitempty"`
+	Exact   bool                 `json:"exact"`
+	Trace   []analysis.TraceStep `json:"trace,omitempty"`
+}
+
+// runVerify analyzes every net (or just -net) of each file under the given
+// caps and reports the verdicts.
+func runVerify(files []string, netName string, caps analysis.Caps, jsonOut bool, stdout io.Writer) error {
+	out := verifyOutput{Schema: verifySchema, OK: true}
+	bad := 0
+	for _, path := range files {
+		vf := verifyFile{Path: path}
+		src, err := os.ReadFile(path)
+		var prog *lang.Program
+		if err == nil {
+			prog, err = lang.Parse(string(src))
+		}
+		if err != nil {
+			vf.Error = err.Error()
+			out.Files = append(out.Files, vf)
+			bad++
+			continue
+		}
+		reg := demoRegistry()
+		stubBoxes(prog, reg)
+		for _, nd := range prog.Nets {
+			if netName != "" && nd.Name != netName {
+				continue
+			}
+			plan, rep, cerr := lang.AnalyzeNetWithCaps(prog, nd.Name, reg, caps)
+			vn := verifyNet{Net: nd.Name, Caps: caps}
+			if plan == nil {
+				vn.TypeErrors = append(vn.TypeErrors, fmt.Sprint(cerr))
+				vn.DeadlockFree = false
+				vf.Nets = append(vf.Nets, vn)
+				bad++
+				continue
+			}
+			for _, te := range plan.TypeErrors() {
+				vn.TypeErrors = append(vn.TypeErrors, te.Error())
+				bad++
+			}
+			vn.DeadlockFree = rep.DeadlockFree()
+			vn.Bound = rep.Bound
+			vn.Nodes = rep.Nodes
+			vn.Edges = rep.Edges
+			for _, f := range rep.Findings {
+				vn.Findings = append(vn.Findings, verifyFinding{
+					Code:    f.Code,
+					Path:    f.Path,
+					Node:    f.Node,
+					Variant: f.Variant.String(),
+					Msg:     f.Msg,
+					Pos:     f.Pos,
+					Exact:   f.Exact,
+					Trace:   f.Trace,
+				})
+				if f.Code == analysis.CodeCapacityOverflow {
+					bad++
+				}
+			}
+			if !vn.DeadlockFree {
+				bad++
+			}
+			vf.Nets = append(vf.Nets, vn)
+		}
+		out.Files = append(out.Files, vf)
+	}
+	out.OK = bad == 0
+
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		renderVerify(stdout, &out)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d problem(s) found", bad)
+	}
+	return nil
+}
+
+// renderVerify is the human form of the verdicts: one headline per net,
+// findings with their traces below.
+func renderVerify(w io.Writer, out *verifyOutput) {
+	for _, vf := range out.Files {
+		if vf.Error != "" {
+			fmt.Fprintf(w, "%s: %s\n", vf.Path, vf.Error)
+			continue
+		}
+		for _, vn := range vf.Nets {
+			verdict := "DEADLOCK-POSITIVE"
+			if vn.DeadlockFree {
+				verdict = "deadlock-free"
+			}
+			bound := "no finite memory bound"
+			if vn.Bound != nil && vn.Bound.Finite {
+				bound = fmt.Sprintf("memory bound %s", vn.Bound)
+			}
+			fmt.Fprintf(w, "%s: net %s: %s; %s; %d nodes, %d stream edges (buffer %d, batch %d, %d workers, %d replicas/site)\n",
+				vf.Path, vn.Net, verdict, bound, vn.Nodes, vn.Edges,
+				vn.Caps.StreamBuffer, vn.Caps.StreamBatch, vn.Caps.BoxWorkers, vn.Caps.SplitWidth)
+			for _, te := range vn.TypeErrors {
+				fmt.Fprintf(w, "%s: %s\n", vf.Path, te)
+			}
+			for _, f := range vn.Findings {
+				fmt.Fprintf(w, "%s: snet: ", vf.Path)
+				if f.Pos != "" {
+					fmt.Fprintf(w, "%s: ", f.Pos)
+				}
+				fmt.Fprintf(w, "verify [%s] at %s: %s\n", f.Code, f.Path, f.Msg)
+				for i, s := range f.Trace {
+					fmt.Fprintf(w, "%s:     trace[%d]", vf.Path, i)
+					if s.Pos != "" {
+						fmt.Fprintf(w, " %s", s.Pos)
+					}
+					fmt.Fprintf(w, " %s: %s\n", s.Path, s.State)
+				}
+			}
+		}
+	}
+}

@@ -43,7 +43,7 @@ type analyzer struct {
 	run  func(u *unit) []diagnostic
 }
 
-var analyzers = []*analyzer{rawchanAnalyzer, streamdiscardAnalyzer, reservedlitAnalyzer, recordretainAnalyzer, fusesafeAnalyzer}
+var analyzers = []*analyzer{rawchanAnalyzer, streamdiscardAnalyzer, blockingsendAnalyzer, reservedlitAnalyzer, recordretainAnalyzer, fusesafeAnalyzer}
 
 // ---------------------------------------------------------------- rawchan
 
@@ -163,7 +163,7 @@ var streamdiscardAnalyzer = &analyzer{
 					continue
 				}
 				readers, writers := streamParams(fd)
-				if len(readers) == 0 || writers == 0 {
+				if len(readers) == 0 || len(writers) == 0 {
 					continue
 				}
 				for _, rd := range readers {
@@ -175,9 +175,9 @@ var streamdiscardAnalyzer = &analyzer{
 	},
 }
 
-// streamParams reports the names of *streamReader parameters and the
-// number of *streamWriter parameters of a function declaration.
-func streamParams(fd *ast.FuncDecl) (readers []string, writers int) {
+// streamParams reports the names of the *streamReader and *streamWriter
+// parameters of a function declaration.
+func streamParams(fd *ast.FuncDecl) (readers, writers []string) {
 	for _, field := range fd.Type.Params.List {
 		star, ok := field.Type.(*ast.StarExpr)
 		if !ok {
@@ -195,7 +195,11 @@ func streamParams(fd *ast.FuncDecl) (readers []string, writers int) {
 				}
 			}
 		case "streamWriter":
-			writers += len(field.Names)
+			for _, n := range field.Names {
+				if n.Name != "_" {
+					writers = append(writers, n.Name)
+				}
+			}
 		}
 	}
 	return readers, writers

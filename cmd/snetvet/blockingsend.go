@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ------------------------------------------------------------ blockingsend
+
+// blockingsend checks the shutdown half of the node contract: send and
+// sendRecord return false when the downstream reader has hung up (Discard
+// on cancellation, or the batch plane shutting down), and a run loop that
+// discards that result keeps producing into a stream nobody drains — the
+// next full buffer blocks the writer goroutine forever and the network
+// never winds down.  Every send in a function that owns both ends of the
+// record plane (a *streamReader and a *streamWriter parameter, the run-loop
+// signature) must therefore be consumed: branched on, returned, or
+// assigned — never a bare expression statement.
+//
+// Helper functions that take only a writer are exempt (their caller owns
+// the loop and the guard), as are stream.go (the implementation itself)
+// and tests.
+var blockingsendAnalyzer = &analyzer{
+	name: "blockingsend",
+	doc:  "forbid bare stream sends (result discarded) in node run loops",
+	run: func(u *unit) []diagnostic {
+		if u.pkgName() != "core" {
+			return nil
+		}
+		var diags []diagnostic
+		for _, f := range u.files {
+			name := u.filename(f)
+			if strings.HasSuffix(name, "_test.go") || name == "stream.go" {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				readers, writers := streamParams(fd)
+				if len(readers) == 0 || len(writers) == 0 {
+					continue
+				}
+				wr := map[string]bool{}
+				for _, w := range writers {
+					wr[w] = true
+				}
+				diags = append(diags, checkBareSends(u.fset, fd, wr)...)
+			}
+		}
+		return diags
+	},
+}
+
+// checkBareSends flags every expression-statement call of send/sendRecord
+// on a writer parameter: the bool result is discarded, so the loop cannot
+// observe the reader hanging up.  Closures are inspected too — a spawned
+// sender captures the same writer and the same obligation.
+func checkBareSends(fset *token.FileSet, fd *ast.FuncDecl, writers map[string]bool) []diagnostic {
+	var diags []diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "send" && sel.Sel.Name != "sendRecord") {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || !writers[id.Name] {
+			return true
+		}
+		diags = append(diags, diagnostic{
+			analyzer: "blockingsend",
+			pos:      fset.Position(call.Pos()),
+			msg: fmt.Sprintf("%s: result of %s.%s discarded: a refused send means the reader hung up — stop the loop or the writer blocks forever",
+				fd.Name.Name, id.Name, sel.Sel.Name),
+		})
+		return true
+	})
+	return diags
+}

@@ -67,6 +67,29 @@ func TestStreamDiscardFindsLeakyReturn(t *testing.T) {
 	}
 }
 
+// TestBlockingSendFindsSeededViolations checks the run-loop send contract:
+// exactly the two fire-and-forget sends are flagged; result-branched sends
+// and writer-only helper functions pass.
+func TestBlockingSendFindsSeededViolations(t *testing.T) {
+	code, _, stderr := runVet(t, "testdata/src/blockingsend")
+	if code != 2 {
+		t.Fatalf("want exit 2, got %d:\n%s", code, stderr)
+	}
+	lines := nonEmptyLines(stderr)
+	if len(lines) != 2 {
+		t.Fatalf("want exactly 2 findings, got %d:\n%s", len(lines), stderr)
+	}
+	wants := []string{"out.send", "out.sendRecord"}
+	for i, l := range lines {
+		if !strings.Contains(l, "fireAndForgetRun") || !strings.Contains(l, wants[i]) {
+			t.Errorf("finding %d should name fireAndForgetRun and %s: %s", i, wants[i], l)
+		}
+		if !strings.Contains(l, "result discarded") && !strings.Contains(l, "result of") {
+			t.Errorf("finding %d should explain the discarded result: %s", i, l)
+		}
+	}
+}
+
 // TestReservedLitFindsSeededViolations checks prefix literals are flagged
 // but mid-string prose mentions are not.
 func TestReservedLitFindsSeededViolations(t *testing.T) {

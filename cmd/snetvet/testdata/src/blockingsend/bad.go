@@ -1,0 +1,51 @@
+// Seeded blockingsend violations and non-violations: node run loops that
+// do and do not observe the result of send/sendRecord.  A discarded result
+// means the loop cannot see the downstream reader hang up, so the writer
+// eventually blocks forever on a full stream.
+package core
+
+type item struct{ rec *int }
+type streamReader struct{}
+type streamWriter struct{}
+
+func (*streamReader) recv() (item, bool)   { return item{}, false }
+func (*streamReader) Discard()             {}
+func (*streamWriter) send(item) bool       { return false }
+func (*streamWriter) sendRecord(*int) bool { return false }
+func (*streamWriter) close()               {}
+
+// fireAndForgetRun drops both send results mid-loop: two violations.
+func fireAndForgetRun(in *streamReader, out *streamWriter) {
+	defer in.Discard()
+	defer out.close()
+	for {
+		it, ok := in.recv()
+		if !ok {
+			return
+		}
+		out.send(it)           // want: result discarded
+		out.sendRecord(it.rec) // want: result discarded
+	}
+}
+
+// guardedRun branches on every send result and drains the reader on the
+// refused-send path: no finding.
+func guardedRun(in *streamReader, out *streamWriter) {
+	defer out.close()
+	for {
+		it, ok := in.recv()
+		if !ok {
+			return
+		}
+		if !out.send(it) {
+			in.Discard()
+			return
+		}
+	}
+}
+
+// helperSend takes only the writer — not a run loop; its caller owns the
+// loop and the guard: no finding.
+func helperSend(out *streamWriter, it item) {
+	out.send(it)
+}

@@ -45,8 +45,7 @@ func cleanRun(in *streamReader, out *streamWriter) {
 func deferredRun(in *streamReader, out *streamWriter) {
 	defer in.Discard()
 	defer out.close()
-	if it, ok := in.recv(); ok {
-		out.send(it)
+	if it, ok := in.recv(); ok && out.send(it) {
 		return
 	}
 }

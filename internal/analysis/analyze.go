@@ -1,20 +1,32 @@
 package analysis
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/core"
 )
 
-// Analyze runs every check over the compiled plan and returns the findings,
-// sorted by (Path, Code, Msg).  The plan may have compile-time TypeErrors;
-// the analysis still runs (the flow facts exist either way) and suppresses
-// findings the compile pass already reported as errors at the same path.
+// Analyze runs every check over the compiled plan under the default
+// capacity assumptions and returns the findings, sorted by (Path, Code,
+// Msg).  The plan may have compile-time TypeErrors; the analysis still runs
+// (the flow facts exist either way) and suppresses findings the compile
+// pass already reported as errors at the same path.
 func Analyze(p *core.Plan) *Report {
+	return AnalyzeWithCaps(p, DefaultCaps())
+}
+
+// AnalyzeWithCaps is Analyze under explicit capacity assumptions: the
+// occupancy bound, the deadlock verdict and any capacity-overflow finding
+// are guarantees about runs configured at or below the given caps.
+func AnalyzeWithCaps(p *core.Plan, caps Caps) *Report {
 	a := &analyzer{
-		plan:     p,
-		errPaths: map[string]string{},
-		starving: map[string]core.Variant{},
+		plan:           p,
+		caps:           caps,
+		errPaths:       map[string]string{},
+		starving:       map[string]core.Variant{},
+		diverging:      map[string]*core.GraphNode{},
+		cycleProducers: map[*Finding][]*core.GraphNode{},
 	}
 	for _, te := range p.TypeErrors() {
 		a.errPaths[te.Path] = te.Code
@@ -25,8 +37,25 @@ func Analyze(p *core.Plan) *Report {
 	}
 	a.walk(g, walkCtx{})
 	a.checkSplits(g)
-	sort.SliceStable(a.findings, func(i, j int) bool {
-		x, y := a.findings[i], a.findings[j]
+	a.checkDeadlocks(g)
+	a.computeBound(g)
+	a.attachTraces(g)
+	a.findings = sortAndDedupe(a.findings)
+	return &Report{
+		Findings: a.findings,
+		Nodes:    a.nodes,
+		Edges:    a.edges,
+		Bound:    a.bound,
+		Caps:     a.caps,
+	}
+}
+
+// sortAndDedupe orders findings by (Path, Code, Msg) and collapses repeats
+// from shared memoized subtrees: the same defect on the same underlying
+// node, reached at several paths, is reported once at the lowest path.
+func sortAndDedupe(findings []*Finding) []*Finding {
+	sort.SliceStable(findings, func(i, j int) bool {
+		x, y := findings[i], findings[j]
 		if x.Path != y.Path {
 			return x.Path < y.Path
 		}
@@ -35,14 +64,33 @@ func Analyze(p *core.Plan) *Report {
 		}
 		return x.Msg < y.Msg
 	})
-	return &Report{Findings: a.findings, Nodes: a.nodes}
+	type key struct {
+		code    string
+		subject core.Node
+		variant string
+		msg     string
+	}
+	seen := map[key]bool{}
+	out := findings[:0]
+	for _, f := range findings {
+		k := key{f.Code, f.subject, fmt.Sprintf("%v", f.Variant), f.Msg}
+		if f.subject != nil && seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, f)
+	}
+	return out
 }
 
 // analyzer is the state of one Analyze call.
 type analyzer struct {
 	plan     *core.Plan
+	caps     Caps
 	findings []*Finding
 	nodes    int
+	edges    int
+	bound    *Bound
 	rootLive bool
 	// errPaths maps node paths with compile-time TypeErrors to their code,
 	// to avoid re-reporting the same defect as a finding.
@@ -50,6 +98,12 @@ type analyzer struct {
 	// starving maps each synchrocell path with an unfillable pattern to
 	// that pattern's variant — consumed by the unbounded-split check.
 	starving map[string]core.Variant
+	// diverging maps each star path whose exit flow is empty to its graph
+	// node — consumed by the occupancy pass (unbounded-occupancy).
+	diverging map[string]*core.GraphNode
+	// cycleProducers maps each deadlock-cycle finding to the producers that
+	// close its wait-for cycle — consumed by trace construction.
+	cycleProducers map[*Finding][]*core.GraphNode
 }
 
 // walkCtx is the ancestor context threaded down the graph walk.

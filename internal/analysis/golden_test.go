@@ -33,8 +33,15 @@ func stubRegistry(prog *lang.Program) *lang.Registry {
 	return reg
 }
 
-// analyzeFile parses, builds and analyzes the single net of a .snet file.
+// analyzeFile parses, builds and analyzes the single net of a .snet file
+// under the default capacity assumptions.
 func analyzeFile(t *testing.T, path string) *analysis.Report {
+	t.Helper()
+	return analyzeFileCaps(t, path, analysis.DefaultCaps())
+}
+
+// analyzeFileCaps is analyzeFile under explicit capacity assumptions.
+func analyzeFileCaps(t *testing.T, path string, caps analysis.Caps) *analysis.Report {
 	t.Helper()
 	src, err := os.ReadFile(path)
 	if err != nil {
@@ -47,7 +54,7 @@ func analyzeFile(t *testing.T, path string) *analysis.Report {
 	if len(prog.Nets) != 1 {
 		t.Fatalf("%s: want exactly one net, got %d", path, len(prog.Nets))
 	}
-	_, rep, _ := lang.AnalyzeNet(prog, prog.Nets[0].Name, stubRegistry(prog))
+	_, rep, _ := lang.AnalyzeNetWithCaps(prog, prog.Nets[0].Name, stubRegistry(prog), caps)
 	if rep == nil {
 		t.Fatalf("%s: no report", path)
 	}
@@ -91,6 +98,31 @@ func TestLintFixtures(t *testing.T) {
 				t.Fatalf("fixture %s produced no findings", name)
 			}
 			checkGolden(t, filepath.Join("testdata", name+".golden"), render(rep))
+		})
+	}
+}
+
+// TestVerifierFixtures checks the deadlock & boundedness verifier's seeded
+// defect programs against their golden counterexample traces: a wait-for
+// cycle closed by a downstream producer, a diverging star with unbounded
+// occupancy, and a sound plan that exceeds a configured admission budget.
+func TestVerifierFixtures(t *testing.T) {
+	budgeted := analysis.DefaultCaps()
+	budgeted.MemoryBudget = 1000
+	for _, tc := range []struct {
+		name string
+		caps analysis.Caps
+	}{
+		{"deadlock_cycle", analysis.DefaultCaps()},
+		{"diverging_star", analysis.DefaultCaps()},
+		{"overbudget", budgeted},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := analyzeFileCaps(t, filepath.Join("testdata", tc.name+".snet"), tc.caps)
+			if rep.Empty() {
+				t.Fatalf("fixture %s produced no findings", tc.name)
+			}
+			checkGolden(t, filepath.Join("testdata", tc.name+".golden"), render(rep))
 		})
 	}
 }

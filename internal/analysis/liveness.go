@@ -63,6 +63,7 @@ func (a *analyzer) checkStar(g *core.GraphNode) {
 	if g.Exit != nil {
 		exit = g.Exit.String()
 	}
+	a.diverging[g.Path] = g
 	a.emit(g, CodeStarDivergence, nil, fmt.Sprintf(
 		"no record entering star %s can ever satisfy its exit pattern %s: the replication chain unfolds without bound and no record leaves",
 		g.Name, exit))

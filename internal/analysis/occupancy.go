@@ -1,0 +1,295 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// The occupancy pass: an abstract interpretation of the compiled graph under
+// explicit capacity assumptions.  Every blocking point of the runtime —
+// stream edges (buffer × batch frames plus the writer's pending batch and
+// the reader's in-hand item), box engines (W in flight plus reorder slots),
+// synchrocell stores, parallel merge slots, replication chains — contributes
+// a worst-case record count, and the sum is the whole-plan static memory
+// high-water bound: no schedule of a deadlock-free plan can hold more
+// records at once.
+//
+// The bound is computed over the UN-FUSED blueprint (Plan.Graph() always
+// returns the blueprint root).  Fusion replaces a chain of stream edges with
+// a single segment holding core.FusedSegmentHold(batch) records — strictly
+// less than the StreamCapacity sum of the edges it removed — so the
+// blueprint bound is sound for both execution plans and the verdict cannot
+// depend on whether fusion ran.
+
+// Caps are the capacity assumptions an occupancy verdict holds under.  They
+// mirror the run options (WithBuffer, WithStreamBatch, WithBoxWorkers,
+// WithMaxWidth, WithMaxDepth): the verdict is a guarantee about any run
+// configured at or below these values.
+type Caps struct {
+	// StreamBuffer is the per-stream frame buffer (WithBuffer).
+	StreamBuffer int `json:"streamBuffer"`
+	// StreamBatch is the frame batch size B (WithStreamBatch).
+	StreamBatch int `json:"streamBatch"`
+	// BoxWorkers is the assumed invocation width W for boxes that do not
+	// pin their own width (WithBoxWorkers); pinned boxes use their own.
+	BoxWorkers int `json:"boxWorkers"`
+	// SplitWidth is the assumed live replica count per indexed split —
+	// the fold width for capped splits, the assumed concurrent session
+	// count for uncapped (session) splits.
+	SplitWidth int `json:"splitWidth"`
+	// StarDepth is the assumed unfolded stage count per serial replication.
+	StarDepth int `json:"starDepth"`
+	// MemoryBudget, when positive, turns the bound into an admission
+	// verdict: a finite bound above the budget is a capacity-overflow
+	// finding.  Zero disables the check.
+	MemoryBudget int64 `json:"memoryBudget,omitempty"`
+}
+
+// DefaultCaps returns the capacity assumptions matching the runtime's
+// defaults: 32-frame buffers, batch 8, width-4 boxes, and 64 live replicas
+// per replication site.
+func DefaultCaps() Caps {
+	return Caps{
+		StreamBuffer: core.DefaultStreamBuffer,
+		StreamBatch:  core.DefaultStreamBatch,
+		BoxWorkers:   4,
+		SplitWidth:   64,
+		StarDepth:    64,
+	}
+}
+
+// ReplicaTerm is one replication site's contribution to the bound: PerUnit
+// records per live replica (operand occupancy plus the replica's own
+// edges), Units assumed replicas, Subtotal their product.  For a site
+// nested inside another replication the term is per single enclosing
+// replica; the enclosing site's PerUnit already includes it.
+type ReplicaTerm struct {
+	Path     string `json:"path"`
+	Kind     string `json:"kind"` // "star" or "split"
+	PerUnit  int64  `json:"perUnit"`
+	Units    int64  `json:"units"`
+	Subtotal int64  `json:"subtotal"`
+}
+
+// Bound is the whole-plan static memory high-water bound, in records.
+type Bound struct {
+	// Fixed is the non-replicated part: every stream edge, box engine,
+	// synchrocell and merge slot outside any replication site.
+	Fixed int64 `json:"fixed"`
+	// Replicas are the replication sites' contributions.
+	Replicas []ReplicaTerm `json:"replicas,omitempty"`
+	// Finite is false when some subgraph's occupancy grows without bound
+	// under any finite capacity assumption (a diverging star); Total is
+	// then only the truncated sum at the assumed StarDepth.
+	Finite bool `json:"finite"`
+	// Total is Fixed plus all replica subtotals plus the two boundary
+	// streams.
+	Total int64 `json:"total"`
+}
+
+// String renders the bound as a one-line verdict fragment.
+func (b *Bound) String() string {
+	if b == nil {
+		return "no bound"
+	}
+	if !b.Finite {
+		return "unbounded occupancy"
+	}
+	return fmt.Sprintf("%d records (%d fixed + %d replicated)", b.Total, b.Fixed, b.Total-b.Fixed)
+}
+
+// bounder is the state of one occupancy computation.
+type bounder struct {
+	caps  Caps
+	bound *Bound
+	edges int
+	// replDepth counts enclosing replication sites; node holds are
+	// attributed to Bound.Fixed only at depth zero (inside a site they are
+	// part of that site's PerUnit).
+	replDepth int
+	// diverging maps star paths whose exit flow is empty (recorded by
+	// checkStar) — the unbounded-occupancy sites.
+	diverging map[string]*core.GraphNode
+}
+
+// edgeCap is the worst-case record count of one stream edge under the caps.
+func (b *bounder) edgeCap() int64 {
+	b.edges++
+	return core.StreamCapacity(b.caps.StreamBuffer, b.caps.StreamBatch)
+}
+
+// fixed attributes a hold to the non-replicated part of the bound when we
+// are outside every replication site, and returns it unchanged either way.
+func (b *bounder) fixed(n int64) int64 {
+	if b.replDepth == 0 {
+		b.bound.Fixed += n
+	}
+	return n
+}
+
+// node returns the worst-case record count held inside the subtree at g:
+// the nodes' own holds plus every internal stream edge.
+func (b *bounder) node(g *core.GraphNode) int64 {
+	switch g.Kind {
+	case "box":
+		w := g.Workers
+		if w <= 0 {
+			w = b.caps.BoxWorkers
+		}
+		return b.fixed(core.BoxEngineHold(w))
+	case "sync":
+		// One stored record per join pattern (the fire drains them all).
+		n := int64(len(g.Patterns))
+		if n < 1 {
+			n = 1
+		}
+		return b.fixed(n)
+	case "serial":
+		return b.node(g.Children[0]) + b.fixed(b.edgeCap()) + b.node(g.Children[1])
+	case "parallel":
+		// Dispatcher's record in hand, then per branch: an input edge, the
+		// branch subtree, an output edge, and the merge stage's slot.
+		occ := b.fixed(1)
+		for _, ch := range g.Children {
+			occ += b.fixed(b.edgeCap()) + b.node(ch) + b.fixed(b.edgeCap()) + b.fixed(1)
+		}
+		return occ
+	case "star":
+		// Entry edge, exit/merge edge and the merge's in-hand record are
+		// per-site; each lazily-unfolded stage holds one operand instance
+		// plus the chain port feeding the next stage.
+		occ := b.fixed(b.edgeCap()) + b.fixed(b.edgeCap()) + b.fixed(1)
+		b.replDepth++
+		per := b.node(g.Children[0]) + b.edgeCap()
+		b.replDepth--
+		units := int64(b.caps.StarDepth)
+		sub := per * units
+		b.bound.Replicas = append(b.bound.Replicas, ReplicaTerm{
+			Path: g.Path, Kind: "star", PerUnit: per, Units: units, Subtotal: sub,
+		})
+		if b.diverging[g.Path] != nil {
+			b.bound.Finite = false
+		}
+		return occ + sub
+	case "split":
+		// Router's record in hand and the merged output slot are per-site;
+		// each live replica holds one operand instance plus its own input
+		// and output edges.
+		occ := b.fixed(1) + b.fixed(1)
+		b.replDepth++
+		per := b.edgeCap() + b.node(g.Children[0]) + b.edgeCap()
+		b.replDepth--
+		units := int64(b.caps.SplitWidth)
+		sub := per * units
+		b.bound.Replicas = append(b.bound.Replicas, ReplicaTerm{
+			Path: g.Path, Kind: "split", PerUnit: per, Units: units, Subtotal: sub,
+		})
+		return occ + sub
+	default: // filter, observe, hide, node: one record in hand
+		occ := b.fixed(1)
+		for _, ch := range g.Children {
+			occ += b.fixed(b.edgeCap()) + b.node(ch)
+		}
+		return occ
+	}
+}
+
+// computeBound runs the occupancy pass: it fills Report.Bound/Edges and
+// emits the occupancy findings (unbounded-occupancy for diverging stars,
+// capacity-overflow against a configured budget).
+func (a *analyzer) computeBound(root *core.GraphNode) {
+	b := &bounder{caps: a.caps, bound: &Bound{Finite: true}, diverging: a.diverging}
+	occ := b.node(root)
+	// The network boundary: the input stream and the output record channel.
+	occ += b.fixed(b.edgeCap()) + b.fixed(b.edgeCap())
+	b.bound.Total = occ
+	a.bound = b.bound
+	a.edges = b.edges
+
+	for _, path := range sortedKeys(a.diverging) {
+		g := a.diverging[path]
+		a.emit(g, CodeUnboundedOccupancy, nil, fmt.Sprintf(
+			"queue occupancy of star %s grows without bound: every entering record stays in the replication chain, so no finite buffer, batch or depth cap yields a memory high-water bound",
+			g.Name))
+	}
+
+	if a.caps.MemoryBudget > 0 && a.bound.Finite && a.bound.Total > a.caps.MemoryBudget {
+		f := &Finding{
+			Code:    CodeCapacityOverflow,
+			Path:    root.Path,
+			Node:    root.Name,
+			Msg: fmt.Sprintf(
+				"static memory high-water bound of %d records exceeds the budget of %d: the plan is admissible only with more memory or smaller caps (buffer %d, batch %d, %d replicas per site)",
+				a.bound.Total, a.caps.MemoryBudget, a.caps.StreamBuffer, a.caps.StreamBatch, a.caps.SplitWidth),
+			Exact:   true,
+			subject: root.Node,
+		}
+		f.Trace = append(f.Trace, TraceStep{
+			Path: root.Path, Node: root.Name, subject: root.Node,
+			State: fmt.Sprintf("fixed plumbing holds up to %d records (%d stream edges at %d each, plus engines and merge slots)",
+				a.bound.Fixed, a.edges, core.StreamCapacity(a.caps.StreamBuffer, a.caps.StreamBatch)),
+		})
+		terms := append([]ReplicaTerm(nil), a.bound.Replicas...)
+		sort.Slice(terms, func(i, j int) bool {
+			if terms[i].Subtotal != terms[j].Subtotal {
+				return terms[i].Subtotal > terms[j].Subtotal
+			}
+			return terms[i].Path < terms[j].Path
+		})
+		for i, t := range terms {
+			if i == 3 {
+				break
+			}
+			g := findPath(root, t.Path)
+			step := TraceStep{Path: t.Path, State: fmt.Sprintf(
+				"%s contributes %d records: %d per replica × %d assumed replicas", t.Kind, t.Subtotal, t.PerUnit, t.Units)}
+			if g != nil {
+				step.Node = g.Name
+				step.subject = g.Node
+			}
+			f.Trace = append(f.Trace, step)
+		}
+		a.findings = append(a.findings, f)
+	}
+}
+
+// findPath locates the graph node at path (paths are unique in the tree).
+func findPath(g *core.GraphNode, path string) *core.GraphNode {
+	if g.Path == path {
+		return g
+	}
+	for _, ch := range g.Children {
+		if path == ch.Path || strings.HasPrefix(path, ch.Path+"/") {
+			return findPath(ch, path)
+		}
+	}
+	return nil
+}
+
+// ancestors returns the chain of graph nodes from the root to the node at
+// path, inclusive; nil if the path is not in the tree.
+func ancestors(g *core.GraphNode, path string) []*core.GraphNode {
+	if g.Path == path {
+		return []*core.GraphNode{g}
+	}
+	for _, ch := range g.Children {
+		if path == ch.Path || strings.HasPrefix(path, ch.Path+"/") {
+			if rest := ancestors(ch, path); rest != nil {
+				return append([]*core.GraphNode{g}, rest...)
+			}
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -115,6 +115,31 @@ func TestCommittedBenchFile(t *testing.T) {
 	}
 }
 
+// TestCommittedVerifierBenchFile validates the BENCH_10.json committed at
+// the repo root — the verifier-cost trajectory this PR introduces — and
+// checks it carries the E23 experiment with both verdict classes.
+func TestCommittedVerifierBenchFile(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_10.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("committed bench file missing: %v (regenerate with `go run ./cmd/experiments -only E23`)", err)
+	}
+	f, err := LoadBenchFile(path)
+	if err != nil {
+		t.Fatalf("BENCH_10.json fails schema validation: %v", err)
+	}
+	verdicts := map[string]int{}
+	for _, r := range f.Results {
+		if r.Experiment == "E23" {
+			if v, ok := r.Params["verdict"].(string); ok {
+				verdicts[v]++
+			}
+		}
+	}
+	if verdicts["deadlock-free"] == 0 || verdicts["DEADLOCK"] == 0 {
+		t.Errorf("BENCH_10.json E23 points must cover both verdict classes, have %v", verdicts)
+	}
+}
+
 func TestPercentileDur(t *testing.T) {
 	samples := make([]time.Duration, 100)
 	for i := range samples {

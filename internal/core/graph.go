@@ -39,7 +39,64 @@ type GraphNode struct {
 	Uncapped   bool          // split only: SessionSplit (width-fold exempt)
 	HiddenTags []string      // hide only: tags deleted from passing records
 
+	// Workers is the box's pinned invocation width W (box only;
+	// NewBoxConcurrent).  0 means the box inherits the run's WithBoxWorkers
+	// width, so a capacity analysis must substitute its assumed run width.
+	// The box engine holds up to BoxEngineHold(W) records: W in flight plus
+	// the reorder stage's completed-but-unreleased slots.
+	Workers int
+
+	// Feedback marks the node as owning the graph's only cyclic edge shape
+	// (star only): each lazily-unfolded stage's chain port feeds the next
+	// replica of the same operand, so records that never satisfy the exit
+	// pattern circulate — the wait-for structure the deadlock analysis walks.
+	// All other edges of a compiled plan form a tree and cannot cycle.
+	Feedback bool
+
 	Children []*GraphNode
+}
+
+// The static capacity model of the runtime's blocking points.  These are
+// the single source of truth shared by the transport layer and the
+// occupancy analysis (internal/analysis): if a buffer is added or resized
+// in the runtime, the bound formula changes here, in one place.
+
+// StreamCapacity returns the worst-case number of in-flight items on one
+// stream edge: `buffer` queued frames of up to `batch` items each, plus the
+// writer's pending batch (up to `batch` items accumulated before the next
+// flush), plus the single item the reader holds in hand.
+func StreamCapacity(buffer, batch int) int64 {
+	if buffer < 0 {
+		buffer = 0
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	return int64(buffer)*int64(batch) + int64(batch) + 1
+}
+
+// BoxEngineHold returns the worst-case number of records held inside one
+// concurrent box node at width W: W invocations in flight plus up to W-1
+// completed results parked in the FIFO reorder stage awaiting the head.
+func BoxEngineHold(workers int) int64 {
+	if workers < 1 {
+		workers = 1
+	}
+	return 2*int64(workers) - 1
+}
+
+// FusedSegmentHold returns the worst-case number of records buffered inside
+// one fused pipeline segment (fuse.go): the executor's cur/next buffers of
+// up to `batch` records each.  For any batch ≥ 1 this is strictly below the
+// StreamCapacity sum of the streams fusion removed, which is why the
+// occupancy analysis computes its bound over the un-fused blueprint — the
+// same bound is sound for both execution plans, and verdicts cannot depend
+// on whether fusion ran.
+func FusedSegmentHold(batch int) int64 {
+	if batch < 1 {
+		batch = 1
+	}
+	return 2 * int64(batch)
 }
 
 // Graph returns the structured graph of the compiled network.  The tree is
@@ -55,6 +112,7 @@ func buildGraph(n Node, prefix string) *GraphNode {
 	case *boxNode:
 		g.Kind = "box"
 		g.BoxSig = n.boxSig
+		g.Workers = n.workers
 	case *filterNode:
 		g.Kind = "filter"
 		g.Filter = n.spec
@@ -81,6 +139,7 @@ func buildGraph(n Node, prefix string) *GraphNode {
 	case *starNode:
 		g.Kind = "star"
 		g.Det = n.det
+		g.Feedback = true
 		exit := n.exit
 		g.Exit = &exit
 		g.Children = []*GraphNode{buildGraph(n.operand, path+"/operand/")}

@@ -43,7 +43,7 @@ func Start(ctx context.Context, root Node, opts ...Option) *Handle {
 	env := &runEnv{
 		ctx:        ctx,
 		stats:      newStats(),
-		buf:        32,
+		buf:        DefaultStreamBuffer,
 		batch:      envStreamBatch(),
 		maxDepth:   1 << 20,
 		maxWidth:   1 << 20,

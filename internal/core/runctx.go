@@ -315,9 +315,16 @@ func (e *runEnv) trace(node, dir string, rec *Record) {
 // Option configures a network run.
 type Option func(*runEnv)
 
-// WithBuffer sets the stream buffer capacity in frames (default 32;
-// 0 selects fully synchronous handoff).  WithStreamBuffer is the same knob
-// under its transport-layer name.
+// DefaultStreamBuffer is the per-stream frame buffer capacity applied when
+// WithBuffer/WithStreamBuffer does not select one.  Together with the batch
+// size B it bounds the in-flight items of every stream edge (see
+// StreamCapacity), which is what the static occupancy analysis sums into a
+// whole-plan memory high-water bound.
+const DefaultStreamBuffer = 32
+
+// WithBuffer sets the stream buffer capacity in frames (default
+// DefaultStreamBuffer; 0 selects fully synchronous handoff).
+// WithStreamBuffer is the same knob under its transport-layer name.
 func WithBuffer(n int) Option {
 	return func(e *runEnv) {
 		if n >= 0 {

@@ -14,6 +14,13 @@ import (
 // when the net type-checks).  The report is always non-nil when err is a
 // *core.CompileError or nil — analysis runs even on plans with type errors.
 func AnalyzeNet(prog *Program, netName string, reg *Registry, opts ...core.CompileOption) (*core.Plan, *analysis.Report, error) {
+	return AnalyzeNetWithCaps(prog, netName, reg, analysis.DefaultCaps(), opts...)
+}
+
+// AnalyzeNetWithCaps is AnalyzeNet under explicit capacity assumptions —
+// the front end of the deadlock & boundedness verifier: the report's bound,
+// verdict and counterexample traces are all decorated with .snet positions.
+func AnalyzeNetWithCaps(prog *Program, netName string, reg *Registry, caps analysis.Caps, opts ...core.CompileOption) (*core.Plan, *analysis.Report, error) {
 	b, err := BuildNet(prog, netName, reg)
 	if err != nil {
 		return nil, nil, err
@@ -29,10 +36,15 @@ func AnalyzeNet(prog *Program, netName string, reg *Registry, opts ...core.Compi
 			}
 		}
 	}
-	rep := analysis.Analyze(plan)
+	rep := analysis.AnalyzeWithCaps(plan, caps)
 	for _, f := range rep.Findings {
 		if pos, ok := b.Positions[f.Subject()]; ok {
 			f.Pos = pos.String()
+		}
+		for i := range f.Trace {
+			if pos, ok := b.Positions[f.Trace[i].Subject()]; ok {
+				f.Trace[i].Pos = pos.String()
+			}
 		}
 	}
 	return plan, rep, cerr

@@ -64,4 +64,10 @@ var (
 	// hazards — carry node paths and .snet source positions.  The lint
 	// path of snetrun -check -lint and snetd registration logging.
 	AnalyzeNet = internal.AnalyzeNet
+	// AnalyzeNetWithCaps is AnalyzeNet under explicit capacity assumptions
+	// (analysis.Caps) — the deadlock & boundedness verifier behind
+	// snetrun -verify: the report carries the whole-plan memory high-water
+	// bound, the deadlock verdict and counterexample traces decorated with
+	// .snet source positions.
+	AnalyzeNetWithCaps = internal.AnalyzeNetWithCaps
 )

@@ -94,6 +94,13 @@ func (s *Service) handleNetworks(w http.ResponseWriter, r *http.Request) {
 		Topology   *snet.Topology `json:"topology,omitempty"`
 		TypeErrors int            `json:"typeErrors,omitempty"`
 		BuildError string         `json:"buildError,omitempty"`
+		// Verifier artifacts (internal/analysis under default caps): the
+		// headline deadlock verdict, the static memory high-water bound in
+		// records (absent when occupancy is unbounded), and the number of
+		// analysis findings.
+		DeadlockFree *bool `json:"deadlockFree,omitempty"`
+		MemoryBound  int64 `json:"memoryBound,omitempty"`
+		Findings     int   `json:"findings,omitempty"`
 	}
 	var out []netInfo
 	for _, n := range s.Networks() {
@@ -115,6 +122,14 @@ func (s *Service) handleNetworks(w http.ResponseWriter, r *http.Request) {
 			info.Type = fmt.Sprintf("%v -> %v", plan.In(), plan.Out())
 			info.Topology = plan.Topology()
 			info.TypeErrors = len(plan.TypeErrors())
+			if rep := n.Verify(); rep != nil {
+				free := rep.DeadlockFree()
+				info.DeadlockFree = &free
+				info.Findings = len(rep.Findings)
+				if rep.Bound != nil && rep.Bound.Finite {
+					info.MemoryBound = rep.Bound.Total
+				}
+			}
 		}
 		out = append(out, info)
 	}

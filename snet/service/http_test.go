@@ -375,3 +375,33 @@ func TestHTTPNetworksTopology(t *testing.T) {
 		t.Fatalf("typeErrors = %d", n.TypeErrors)
 	}
 }
+
+// /api/networks exposes the verify phase: the static deadlock verdict and
+// the finite memory high-water bound of each network's plan.
+func TestHTTPNetworksVerdict(t *testing.T) {
+	_, ts := newTestServer(t)
+	var resp struct {
+		Networks []struct {
+			Name         string `json:"name"`
+			DeadlockFree *bool  `json:"deadlockFree"`
+			MemoryBound  int64  `json:"memoryBound"`
+			Findings     int    `json:"findings"`
+		} `json:"networks"`
+	}
+	if code := call(t, "GET", ts.URL+"/api/networks", nil, &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Networks) != 1 {
+		t.Fatalf("networks = %+v", resp.Networks)
+	}
+	n := resp.Networks[0]
+	if n.DeadlockFree == nil || !*n.DeadlockFree {
+		t.Fatalf("deadlockFree = %v, want true", n.DeadlockFree)
+	}
+	if n.MemoryBound <= 0 {
+		t.Fatalf("memoryBound = %d, want a positive finite bound", n.MemoryBound)
+	}
+	if n.Findings != 0 {
+		t.Fatalf("findings = %d, want 0 for the clean inc box", n.Findings)
+	}
+}

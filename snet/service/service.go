@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/sac"
 	"repro/snet"
 )
@@ -226,6 +227,7 @@ type Network struct {
 	plan     *snet.Plan
 	planErr  error // compile diagnostics of the cached plan (*snet.CompileError or nil)
 	planDone bool
+	verify   *analysis.Report // deadlock & boundedness verdict of the cached plan
 }
 
 // Plan returns the network's compiled plan, invoking the builder and
@@ -264,6 +266,22 @@ func (n *Network) PlanErr() error {
 	n.planMu.Lock()
 	defer n.planMu.Unlock()
 	return n.planErr
+}
+
+// Verify returns the network's static deadlock & boundedness verdict
+// (internal/analysis) under the default capacity assumptions, computed once
+// over the cached plan and shared with /api/networks.  It returns nil if
+// the builder fails.
+func (n *Network) Verify() *analysis.Report {
+	if _, err := n.Plan(); err != nil {
+		return nil
+	}
+	n.planMu.Lock()
+	defer n.planMu.Unlock()
+	if n.verify == nil && n.plan != nil {
+		n.verify = analysis.Analyze(n.plan)
+	}
+	return n.verify
 }
 
 // sharedEngine returns the network's warm engine, starting it on first use
